@@ -1,0 +1,38 @@
+// Command entk-prototype runs the Fig 6 broker prototype benchmark at full
+// paper scale: 10⁶ task objects pushed through N queues by N producers and
+// pulled by N consumers into an empty RTS module, for N in {1, 2, 4, 8},
+// reporting processing times and base/peak memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		tasks  = flag.Int("tasks", 1000000, "number of task objects to push through the broker")
+		uneven = flag.Bool("uneven", false, "also run uneven producer/consumer distributions")
+	)
+	flag.Parse()
+
+	rows, err := experiments.Fig6Prototype(*tasks, []int{1, 2, 4, 8})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "entk-prototype: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.RenderFig6(os.Stdout, rows)
+
+	if *uneven {
+		fmt.Println("\nUneven distributions (the paper notes these are less efficient):")
+		urows, err := experiments.Fig6Uneven(*tasks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "entk-prototype: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.RenderFig6(os.Stdout, urows)
+	}
+}

@@ -1,0 +1,126 @@
+// Command entk-run executes a PST application described in JSON on a
+// simulated computing infrastructure — the command-line face of the public
+// entk API. The document format is defined by internal/appjson:
+//
+//	{
+//	  "resource": {"name": "titan", "cores": 64, "walltime_s": 7200},
+//	  "task_retries": 2,
+//	  "pipelines": [{
+//	    "name": "md",
+//	    "stages": [{
+//	      "name": "sim",
+//	      "tasks": [{"name": "replica", "executable": "mdrun",
+//	                 "duration_s": 600, "cores": 1, "copies": 16}]
+//	    }]
+//	  }]
+//	}
+//
+// Run with:
+//
+//	entk-run -app app.json [-scale 1ms] [-v] [-check]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/entk"
+	"repro/internal/appjson"
+)
+
+func main() {
+	var (
+		appPath = flag.String("app", "", "path to the JSON application description (required)")
+		scale   = flag.Duration("scale", time.Millisecond, "wall time per virtual second")
+		verbose = flag.Bool("v", false, "print per-entity final states")
+		timeout = flag.Duration("timeout", 10*time.Minute, "wall-clock execution timeout")
+		check   = flag.Bool("check", false, "validate the application description and exit")
+	)
+	flag.Parse()
+	if *appPath == "" {
+		fmt.Fprintln(os.Stderr, "entk-run: -app is required (see -h)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*appPath)
+	if err != nil {
+		fatal(err)
+	}
+	desc, err := appjson.Parse(raw)
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		pipes, total, err := desc.Build()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid — %d pipelines / %d tasks on %s (%d cores)\n",
+			*appPath, len(pipes), total, desc.Resource.Name, desc.Resource.Cores)
+		return
+	}
+	am, err := entk.NewAppManager(entk.AppConfig{
+		Resource: entk.Resource{
+			Name:     desc.Resource.Name,
+			Cores:    desc.Resource.Cores,
+			GPUs:     desc.Resource.GPUs,
+			Walltime: desc.Walltime(),
+			Queue:    desc.Resource.Queue,
+			Project:  desc.Resource.Project,
+		},
+		TimeScale:   *scale,
+		TaskRetries: desc.TaskRetries,
+		Seed:        desc.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	pipes, total, err := desc.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if err := am.AddPipelines(pipes...); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executing %d pipelines / %d tasks on %s (%d cores)\n",
+		len(pipes), total, desc.Resource.Name, desc.Resource.Cores)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	runErr := am.Run(ctx)
+	wall := time.Since(start)
+
+	rep := am.Report()
+	fmt.Printf("\nrun finished in %v wall time\n", wall.Round(time.Millisecond))
+	fmt.Printf("  entk setup:      %8.2f s\n", rep.EnTKSetup)
+	fmt.Printf("  entk management: %8.2f s\n", rep.EnTKManagement)
+	fmt.Printf("  entk tear-down:  %8.2f s\n", rep.EnTKTeardown)
+	fmt.Printf("  rts overhead:    %8.2f s\n", rep.RTSOverhead)
+	fmt.Printf("  rts tear-down:   %8.2f s\n", rep.RTSTeardown)
+	fmt.Printf("  data staging:    %8.2f s\n", rep.DataStaging)
+	fmt.Printf("  task execution:  %8.2f s\n", rep.TaskExecution)
+
+	if *verbose {
+		for _, p := range pipes {
+			fmt.Printf("pipeline %-24s %s\n", p.Name, p.State())
+			for _, s := range p.Stages() {
+				fmt.Printf("  stage %-24s %s\n", s.Name, s.State())
+				for _, t := range s.Tasks() {
+					fmt.Printf("    task %-22s %s (attempts %d, exit %d)\n",
+						t.Name, t.State(), t.Attempts(), t.ExitCode())
+				}
+			}
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "entk-run: %v\n", err)
+	os.Exit(1)
+}

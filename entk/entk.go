@@ -1,0 +1,405 @@
+// Package entk is the public API of this Go reproduction of the Ensemble
+// Toolkit (EnTK) from "Harnessing the Power of Many: Extensible Toolkit for
+// Scalable Ensemble Applications" (Balasubramanian et al., IPDPS 2018).
+//
+// Applications are described with the paper's PST model — Pipelines of
+// Stages of Tasks — and handed to an AppManager for execution on a
+// (simulated) computing infrastructure through a pluggable runtime system:
+//
+//	p := entk.NewPipeline("md")
+//	s := entk.NewStage("sim")
+//	for i := 0; i < 16; i++ {
+//		t := entk.NewTask("replica")
+//		t.Executable = "mdrun"
+//		t.Duration = 600 * time.Second
+//		s.AddTask(t)
+//	}
+//	p.AddStage(s)
+//
+//	am, _ := entk.NewAppManager(entk.AppConfig{Resource: entk.Resource{
+//		Name: "titan", Cores: 512, Walltime: 2 * time.Hour,
+//	}})
+//	am.AddPipelines(p)
+//	err := am.Run(context.Background())
+//
+// All pipelines execute concurrently; stages within a pipeline execute
+// sequentially; tasks within a stage execute concurrently. Stage.PostExec
+// hooks support adaptive workflows that extend themselves at runtime.
+package entk
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/hostmodel"
+	"repro/internal/hpc"
+	"repro/internal/profiler"
+	"repro/internal/rts"
+	"repro/internal/saga"
+	"repro/internal/statedb"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Re-exported PST entities. The types are shared with the internal engine,
+// so values constructed here flow through the whole stack unchanged.
+type (
+	// Task is an abstraction of a computational task: executable, software
+	// environment and data dependences.
+	Task = core.Task
+	// Stage is a set of tasks that can execute concurrently.
+	Stage = core.Stage
+	// Pipeline is a list of stages that execute sequentially.
+	Pipeline = core.Pipeline
+	// StagingDirective describes one input or output data movement.
+	StagingDirective = core.StagingDirective
+	// CPUReqs describes a task's CPU needs.
+	CPUReqs = core.CPUReqs
+	// GPUReqs describes a task's GPU needs.
+	GPUReqs = core.GPUReqs
+	// StateStore is the external-database hook for transactional state
+	// updates (paper §II-B4).
+	StateStore = core.StateStore
+	// TaskState, StageState and PipelineState are entity lifecycle states.
+	TaskState = core.TaskState
+	// StageState is a stage's lifecycle state.
+	StageState = core.StageState
+	// PipelineState is a pipeline's lifecycle state.
+	PipelineState = core.PipelineState
+)
+
+// Re-exported state constants (the commonly inspected ones).
+const (
+	TaskDone     = core.TaskDone
+	TaskFailed   = core.TaskFailed
+	TaskCanceled = core.TaskCanceled
+	StageDone    = core.StageDone
+	PipelineDone = core.PipelineDone
+)
+
+// Staging actions.
+const (
+	StagingCopy     = core.StagingCopy
+	StagingLink     = core.StagingLink
+	StagingMove     = core.StagingMove
+	StagingTransfer = core.StagingTransfer
+)
+
+// NewTask returns a fresh task; set Executable, Duration, CPUReqs and
+// staging directives before adding it to a stage.
+func NewTask(name string) *Task { return core.NewTask(name) }
+
+// NewStage returns a fresh stage.
+func NewStage(name string) *Stage { return core.NewStage(name) }
+
+// NewPipeline returns a fresh pipeline.
+func NewPipeline(name string) *Pipeline { return core.NewPipeline(name) }
+
+// StateDB is the bundled external state database (the stack's MongoDB
+// stand-in). It satisfies StateStore and additionally exposes the full
+// commit history for live or postmortem analysis.
+type StateDB = statedb.DB
+
+// NewStateDB returns an empty external state database for
+// AppConfig.StateStore.
+func NewStateDB() *StateDB { return statedb.New() }
+
+// Resource describes the acquisition request for a computing
+// infrastructure: which CI, how many cores, for how long.
+type Resource struct {
+	// Name is a catalogued CI: "supermic", "stampede", "comet", "titan".
+	Name string
+	// Cores is the pilot size.
+	Cores int
+	// GPUs is the pilot's GPU allocation; when 0 it defaults to one GPU
+	// per allocated node on GPU-equipped CIs (Titan). The agent schedules
+	// GPU tasks against it exactly as it schedules cores.
+	GPUs int
+	// Walltime of the pilot job.
+	Walltime time.Duration
+	// Queue and Project pass through to the batch system.
+	Queue   string
+	Project string
+}
+
+// AppConfig configures an AppManager.
+type AppConfig struct {
+	// Resource is the CI request. Required.
+	Resource Resource
+	// TimeScale is the wall cost of one virtual second (default 1 ms).
+	TimeScale time.Duration
+	// TaskRetries is the automatic resubmission budget per failed task.
+	TaskRetries int
+	// RTSRestarts bounds RTS restarts after runtime-system failures.
+	RTSRestarts int
+	// JournalPath enables transactional state journaling and recovery.
+	JournalPath string
+	// StateStore mirrors every state transition to an external database
+	// (paper §II-B4); see NewStateDB for the bundled implementation. A
+	// restarted application reacquires completed-task states from it.
+	StateStore StateStore
+	// Compute enables real kernel computation inside task executables.
+	Compute bool
+	// Seed drives all stochastic models (failure sampling).
+	Seed int64
+	// HostName selects the host model running EnTK ("xsede-vm",
+	// "titan-login", "null"). Default: chosen from the resource per the
+	// paper's setup.
+	HostName string
+	// Kernels are extra workload kernels to register (use-case packages
+	// contribute Specfem and CAnalogs this way).
+	Kernels []workload.Kernel
+	// FSSpec overrides the shared-filesystem model (default: OLCF Lustre
+	// on titan, generic XSEDE elsewhere).
+	FSSpec *fsim.Spec
+	// QueueWait, when positive, makes the pilot wait in the batch queue.
+	QueueWait time.Duration
+	// ExtraResources requests additional pilots on other CIs. When
+	// present, tasks are mapped dynamically across all pilots — pin a task
+	// with Tags["resource"] = CI name, or leave it untagged for
+	// least-loaded placement. This is the paper's future-work capability
+	// (i), "dynamic mapping of tasks onto heterogeneous resources", and
+	// serves the seismic use case's need to interleave leadership-scale
+	// simulation with cluster-scale analysis (§III-A).
+	ExtraResources []Resource
+}
+
+// AppManager drives one ensemble application: it owns the simulated CI, the
+// SAGA session, the pilot RTS and the EnTK core, wired exactly as in the
+// paper's architecture diagram.
+type AppManager struct {
+	inner    *core.AppManager
+	clock    vclock.Clock
+	session  *saga.Session
+	cluster  *hpc.Cluster
+	clusters []*hpc.Cluster // extra CIs for heterogeneous execution
+	fs       *fsim.FS
+}
+
+// NewAppManager assembles the full stack for cfg.
+func NewAppManager(cfg AppConfig) (*AppManager, error) {
+	if cfg.Resource.Name == "" {
+		return nil, errors.New("entk: resource name required")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = time.Millisecond
+	}
+	clock := vclock.NewScaled(cfg.TimeScale)
+
+	spec, err := hpc.LookupSpec(cfg.Resource.Name)
+	if err != nil {
+		return nil, err
+	}
+	spec.BaseQueueWait = cfg.QueueWait
+	// Default the pilot's GPU allocation from the CI's per-node inventory:
+	// a Titan pilot brings one GPU per allocated node (the seismic use
+	// case's forward solver runs on those GPUs).
+	if cfg.Resource.GPUs == 0 && spec.GPUsPerNode > 0 {
+		nodes := (cfg.Resource.Cores + spec.CoresPerNode - 1) / spec.CoresPerNode
+		cfg.Resource.GPUs = nodes * spec.GPUsPerNode
+	}
+	cluster, err := hpc.NewCluster(spec, clock)
+	if err != nil {
+		return nil, err
+	}
+	session := saga.NewSession()
+	if err := session.Register(saga.NewClusterAdapter(cluster)); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	// Data management (§II-D): transfer staging directives are enacted over
+	// per-protocol adapters (cp, scp, gsiscp, sftp, gsisftp, globus).
+	transfers, err := saga.NewTransferService(clock)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	session.SetTransferService(transfers)
+	// Additional CIs for heterogeneous execution.
+	extraClusters := make([]*hpc.Cluster, 0, len(cfg.ExtraResources))
+	closeAll := func() {
+		cluster.Close()
+		for _, c := range extraClusters {
+			c.Close()
+		}
+	}
+	for i, res := range cfg.ExtraResources {
+		xspec, err := hpc.LookupSpec(res.Name)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		xspec.BaseQueueWait = cfg.QueueWait
+		if res.GPUs == 0 && xspec.GPUsPerNode > 0 {
+			nodes := (res.Cores + xspec.CoresPerNode - 1) / xspec.CoresPerNode
+			cfg.ExtraResources[i].GPUs = nodes * xspec.GPUsPerNode
+		}
+		xc, err := hpc.NewCluster(xspec, clock)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		extraClusters = append(extraClusters, xc)
+		if err := session.Register(saga.NewClusterAdapter(xc)); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	fsSpec := fsim.XSEDEShared()
+	if cfg.Resource.Name == "titan" {
+		fsSpec = fsim.OLCFLustre()
+	}
+	if cfg.FSSpec != nil {
+		fsSpec = *cfg.FSSpec
+	}
+	fs, err := fsim.New(fsSpec, clock, cfg.Seed)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+
+	hostName := cfg.HostName
+	var host *hostmodel.Model
+	if hostName == "" {
+		host = hostmodel.ForCI(cfg.Resource.Name)
+	} else {
+		host, err = hostmodel.Lookup(hostName)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	registry := workload.NewRegistry()
+	for _, k := range cfg.Kernels {
+		if err := registry.Register(k); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	am, err := core.NewAppManager(core.Config{
+		Clock:       clock,
+		Host:        host,
+		JournalPath: cfg.JournalPath,
+		StateStore:  cfg.StateStore,
+		TaskRetries: cfg.TaskRetries,
+		RTSRestarts: cfg.RTSRestarts,
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	am.SetResource(core.ResourceDesc{
+		Resource: cfg.Resource.Name,
+		Cores:    cfg.Resource.Cores,
+		GPUs:     cfg.Resource.GPUs,
+		Walltime: cfg.Resource.Walltime,
+		Queue:    cfg.Resource.Queue,
+		Project:  cfg.Resource.Project,
+	})
+	baseRTS := rts.Config{
+		Clock:    clock,
+		Session:  session,
+		Registry: registry,
+		FS:       fs,
+		Prof:     am.Profiler(),
+		Compute:  cfg.Compute,
+		Seed:     cfg.Seed,
+	}
+	if len(cfg.ExtraResources) == 0 {
+		am.SetRTSFactory(rts.Factory(baseRTS))
+	} else {
+		// Heterogeneous execution: one pilot per resource behind a routing
+		// RTS, all replaceable as one black box on failure.
+		resources := append([]Resource{cfg.Resource}, cfg.ExtraResources...)
+		am.SetRTSFactory(func(core.ResourceDesc) (core.RTS, error) {
+			members := make([]rts.RouterMember, 0, len(resources))
+			for _, res := range resources {
+				child := baseRTS
+				child.Resource = core.ResourceDesc{
+					Resource: res.Name,
+					Cores:    res.Cores,
+					GPUs:     res.GPUs,
+					Walltime: res.Walltime,
+					Queue:    res.Queue,
+					Project:  res.Project,
+				}
+				p, err := rts.New(child)
+				if err != nil {
+					return nil, err
+				}
+				members = append(members, rts.RouterMember{
+					Name:     res.Name,
+					RTS:      p,
+					Resource: res.Name,
+					Capacity: res.Cores,
+					GPUs:     res.GPUs,
+				})
+			}
+			return rts.NewRouter(members)
+		})
+	}
+
+	return &AppManager{
+		inner:    am,
+		clock:    clock,
+		session:  session,
+		cluster:  cluster,
+		clusters: extraClusters,
+		fs:       fs,
+	}, nil
+}
+
+// AddPipelines registers pipelines for execution. Called before Run it
+// records them; called during execution (typically from a Stage.PostExec
+// hook) it validates and schedules them immediately — adaptive workflows
+// can fan out whole new pipelines at runtime, not just stages.
+func (a *AppManager) AddPipelines(ps ...*Pipeline) error {
+	return a.inner.AddPipelines(ps...)
+}
+
+// AddPipelineGroups registers an application expressed as a list of sets of
+// pipelines — the paper's extended PST description (§II-B1). Pipelines in a
+// group run concurrently; each group starts only after the previous group
+// finished. Arbitrary DAGs can be declared directly with Pipeline.After.
+func (a *AppManager) AddPipelineGroups(groups ...[]*Pipeline) error {
+	return a.inner.AddPipelineGroups(groups...)
+}
+
+// Run executes the application to completion.
+func (a *AppManager) Run(ctx context.Context) error {
+	defer a.cluster.Close()
+	defer a.session.Close()
+	defer func() {
+		for _, c := range a.clusters {
+			c.Close()
+		}
+	}()
+	return a.inner.Run(ctx)
+}
+
+// Report returns the paper-style overhead decomposition of the run.
+func (a *AppManager) Report() profiler.Report {
+	return a.inner.Profiler().Report()
+}
+
+// Clock exposes the application's virtual clock.
+func (a *AppManager) Clock() vclock.Clock { return a.clock }
+
+// Filesystem exposes the shared-filesystem model (statistics).
+func (a *AppManager) Filesystem() *fsim.FS { return a.fs }
+
+// Core exposes the underlying engine for advanced use (experiments,
+// adaptive nudging).
+func (a *AppManager) Core() *core.AppManager { return a.inner }
+
+// Nudge wakes the scheduler after out-of-band workflow mutation.
+func (a *AppManager) Nudge() { a.inner.Nudge() }
+
+// CIs lists the catalogued computing infrastructures.
+func CIs() []string { return hpc.Names() }

@@ -1,0 +1,101 @@
+// Adaptive ensemble-MD example: the class of biomolecular workloads the
+// paper's introduction motivates ("a shift from running single long running
+// tasks towards multiple shorter running tasks").
+//
+// The application runs rounds of concurrent MD simulations; after each
+// round, an analysis task inspects the ensemble and a Stage PostExec hook
+// decides — at runtime — whether to extend the pipeline with another round.
+// This is EnTK's adaptivity: "branching events can be specified as tasks
+// where a decision is made about the runtime flow" (§II-B1).
+//
+//	go run ./examples/adaptive-md
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/entk"
+)
+
+const (
+	replicas  = 8
+	maxRounds = 5
+)
+
+func main() {
+	am, err := entk.NewAppManager(entk.AppConfig{
+		Resource: entk.Resource{
+			Name:     "comet",
+			Cores:    replicas,
+			Walltime: 12 * time.Hour,
+		},
+		TimeScale:   200 * time.Microsecond,
+		TaskRetries: 2,
+		Compute:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipeline := entk.NewPipeline("adaptive-md")
+	var round int32
+	// "Converged" when the decision task has seen enough rounds; a real
+	// application would measure, e.g., conformational-space coverage.
+	var addRound func() error
+	mdStage := func(n int32) *entk.Stage {
+		s := entk.NewStage(fmt.Sprintf("md-round-%d", n))
+		for i := 0; i < replicas; i++ {
+			t := entk.NewTask(fmt.Sprintf("replica-%d-%02d", n, i))
+			t.Executable = "mdrun"
+			t.Arguments = []string{"-nsteps", "40"}
+			t.Duration = 600 * time.Second
+			t.CPUReqs = entk.CPUReqs{Processes: 1}
+			s.AddTask(t) //nolint:errcheck
+		}
+		return s
+	}
+	analysisStage := func(n int32) *entk.Stage {
+		s := entk.NewStage(fmt.Sprintf("analysis-%d", n))
+		t := entk.NewTask(fmt.Sprintf("msm-build-%d", n))
+		t.Executable = "sleep"
+		t.Duration = 60 * time.Second
+		s.AddTask(t) //nolint:errcheck
+		s.PostExec = addRound
+		return s
+	}
+	addRound = func() error {
+		n := atomic.AddInt32(&round, 1)
+		if n >= maxRounds {
+			fmt.Printf("round %d: converged, stopping\n", n)
+			return nil
+		}
+		fmt.Printf("round %d: not converged, extending the pipeline\n", n)
+		if err := pipeline.AddStage(mdStage(n)); err != nil {
+			return err
+		}
+		return pipeline.AddStage(analysisStage(n))
+	}
+
+	if err := pipeline.AddStage(mdStage(0)); err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.AddStage(analysisStage(0)); err != nil {
+		log.Fatal(err)
+	}
+	if err := am.AddPipelines(pipeline); err != nil {
+		log.Fatal(err)
+	}
+	if err := am.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npipeline %s after %d stages (%d MD rounds)\n",
+		pipeline.State(), pipeline.StageCount(), atomic.LoadInt32(&round))
+	rep := am.Report()
+	fmt.Printf("execution window: %.0f virtual s (sequential rounds of concurrent replicas)\n",
+		rep.TaskExecution)
+}

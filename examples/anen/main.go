@@ -1,0 +1,65 @@
+// Analog-ensemble example: the paper's second use case (§III-B).
+//
+// A synthetic NAM-like forecast archive is generated; then the Adaptive
+// Unstructured Analog (AUA) algorithm and the status-quo random-selection
+// baseline each predict the analysis field from the same initial random
+// locations and the same location budget. AUA concentrates its samples
+// where the field has sharp gradients, producing a lower final error — the
+// paper's Fig 11 result.
+//
+//	go run ./examples/anen
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/anen"
+)
+
+func main() {
+	gen := anen.DefaultGenConfig()
+	ds, err := anen.Generate(gen, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := anen.DefaultAUAConfig()
+	fmt.Printf("domain: %dx%d = %d pixels, budget %d locations (%.2f%%)\n",
+		gen.W, gen.H, ds.Locations(), cfg.Budget,
+		100*float64(cfg.Budget)/float64(ds.Locations()))
+
+	// Both methods start from the same random locations (as in the paper).
+	seedRng := rand.New(rand.NewSource(7))
+	seeds := anen.SeedLocations(ds, cfg.Seeds, seedRng)
+
+	aua, err := anen.RunAUAFromSeeds(ds, cfg, seeds, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rnd, err := anen.RunRandomFromSeeds(ds, cfg, seeds, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %10s %10s\n", "", "AUA", "random")
+	fmt.Printf("%-22s %10d %10d\n", "locations computed", len(aua.Locations), len(rnd.Locations))
+	fmt.Printf("%-22s %10d %10d\n", "iterations", aua.Iterations, rnd.Iterations)
+	fmt.Printf("%-22s %10.4f %10.4f\n", "final RMSE", aua.RMSE, rnd.RMSE)
+
+	fmt.Println("\nconvergence (RMSE per iteration):")
+	fmt.Printf("  AUA:    ")
+	for _, e := range aua.ErrHistory {
+		fmt.Printf(" %.4f", e)
+	}
+	fmt.Printf("\n  random: ")
+	for _, e := range rnd.ErrHistory {
+		fmt.Printf(" %.4f", e)
+	}
+	fmt.Println()
+	if aua.RMSE < rnd.RMSE {
+		fmt.Println("\nAUA beats random selection at the same budget (paper Fig 11).")
+	} else {
+		fmt.Println("\n(random won this world — rerun with another seed; AUA wins on average)")
+	}
+}

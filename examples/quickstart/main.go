@@ -1,0 +1,84 @@
+// Quickstart: the smallest complete EnTK application — one pipeline with a
+// simulation stage (16 concurrent tasks) followed by an analysis stage,
+// executed on a simulated XSEDE SuperMIC pilot.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/entk"
+)
+
+func main() {
+	// Describe the application with the PST model.
+	pipeline := entk.NewPipeline("quickstart")
+
+	simulation := entk.NewStage("simulation")
+	for i := 0; i < 16; i++ {
+		t := entk.NewTask(fmt.Sprintf("md-%02d", i))
+		t.Executable = "mdrun"
+		t.Arguments = []string{"-nsteps", "50"}
+		t.Duration = 300 * time.Second // nominal runtime on the CI
+		t.CPUReqs = entk.CPUReqs{Processes: 1}
+		if err := simulation.AddTask(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := pipeline.AddStage(simulation); err != nil {
+		log.Fatal(err)
+	}
+
+	analysis := entk.NewStage("analysis")
+	agg := entk.NewTask("aggregate")
+	agg.Executable = "sleep"
+	agg.Duration = 30 * time.Second
+	if err := analysis.AddTask(agg); err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.AddStage(analysis); err != nil {
+		log.Fatal(err)
+	}
+
+	// Acquire resources and execute. One virtual second costs 1 ms of wall
+	// time, so the 330 s workflow completes in well under a second.
+	am, err := entk.NewAppManager(entk.AppConfig{
+		Resource: entk.Resource{
+			Name:     "supermic",
+			Cores:    16,
+			Walltime: time.Hour,
+		},
+		TimeScale:   time.Millisecond,
+		TaskRetries: 2,
+		Compute:     true, // run the real (small) MD kernel inside each task
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := am.AddPipelines(pipeline); err != nil {
+		log.Fatal(err)
+	}
+	if err := am.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pipeline state: %s\n", pipeline.State())
+	for _, s := range pipeline.Stages() {
+		done := 0
+		for _, t := range s.Tasks() {
+			if t.State() == entk.TaskDone {
+				done++
+			}
+		}
+		fmt.Printf("  stage %-12s %s (%d/%d tasks done)\n",
+			s.Name, s.State(), done, s.TaskCount())
+	}
+	rep := am.Report()
+	fmt.Printf("task execution window: %.1f virtual seconds\n", rep.TaskExecution)
+	fmt.Printf("EnTK overheads: setup %.2fs, management %.2fs, tear-down %.2fs\n",
+		rep.EnTKSetup, rep.EnTKManagement, rep.EnTKTeardown)
+}

@@ -1,0 +1,174 @@
+package anen
+
+import (
+	"math"
+	"sort"
+)
+
+// Interpolator spreads values known at scattered sample locations over the
+// full grid — the "unstructured grid" interpolation of the AUA algorithm.
+// It uses inverse-distance weighting over the k nearest samples.
+type Interpolator struct {
+	W, H  int
+	Power float64 // IDW exponent
+	K     int     // neighbours used per pixel
+}
+
+// NewInterpolator returns the interpolator used by the experiments.
+func NewInterpolator(w, h int) *Interpolator {
+	return &Interpolator{W: w, H: h, Power: 2, K: 6}
+}
+
+type sample struct {
+	x, y float64
+	v    float64
+}
+
+// neighbourhood finds the k nearest samples to (x, y) by brute force; the
+// sample sets in the AUA experiments are small (<= a few thousand).
+func nearest(samples []sample, x, y float64, k int) []sample {
+	type ds struct {
+		d2 float64
+		s  sample
+	}
+	all := make([]ds, len(samples))
+	for i, s := range samples {
+		dx, dy := s.x-x, s.y-y
+		all[i] = ds{d2: dx*dx + dy*dy, s: s}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d2 < all[j].d2 })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]sample, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].s
+	}
+	return out
+}
+
+// Interpolate builds the full-grid field from values at sample locations.
+func (ip *Interpolator) Interpolate(values map[int]float64) []float64 {
+	samples := make([]sample, 0, len(values))
+	for loc, v := range values {
+		samples = append(samples, sample{
+			x: float64(loc % ip.W), y: float64(loc / ip.W), v: v,
+		})
+	}
+	// Deterministic order regardless of map iteration.
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].y != samples[j].y {
+			return samples[i].y < samples[j].y
+		}
+		return samples[i].x < samples[j].x
+	})
+	out := make([]float64, ip.W*ip.H)
+	if len(samples) == 0 {
+		return out
+	}
+	// Spatial binning accelerates neighbour search: samples are indexed by
+	// coarse cells and each pixel search spirals outward.
+	grid := newBinIndex(samples, ip.W, ip.H)
+	for loc := range out {
+		x, y := float64(loc%ip.W), float64(loc/ip.W)
+		if v, exact := values[loc]; exact {
+			out[loc] = v
+			continue
+		}
+		neigh := grid.nearest(x, y, ip.K)
+		var num, den float64
+		for _, s := range neigh {
+			dx, dy := s.x-x, s.y-y
+			d2 := dx*dx + dy*dy
+			w := 1.0 / math.Pow(d2+1e-9, ip.Power/2)
+			num += w * s.v
+			den += w
+		}
+		out[loc] = num / den
+	}
+	return out
+}
+
+// binIndex is a coarse cell index over samples.
+type binIndex struct {
+	cell    float64
+	cols    int
+	rows    int
+	buckets [][]sample
+}
+
+func newBinIndex(samples []sample, w, h int) *binIndex {
+	// Aim for ~2 samples per cell.
+	cells := len(samples)/2 + 1
+	cell := math.Sqrt(float64(w*h) / float64(cells))
+	if cell < 1 {
+		cell = 1
+	}
+	cols := int(math.Ceil(float64(w)/cell)) + 1
+	rows := int(math.Ceil(float64(h)/cell)) + 1
+	b := &binIndex{cell: cell, cols: cols, rows: rows, buckets: make([][]sample, cols*rows)}
+	for _, s := range samples {
+		i := b.bucketOf(s.x, s.y)
+		b.buckets[i] = append(b.buckets[i], s)
+	}
+	return b
+}
+
+func (b *binIndex) bucketOf(x, y float64) int {
+	cx := int(x / b.cell)
+	cy := int(y / b.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= b.cols {
+		cx = b.cols - 1
+	}
+	if cy >= b.rows {
+		cy = b.rows - 1
+	}
+	return cy*b.cols + cx
+}
+
+// nearest collects at least k samples by expanding rings of cells, then
+// exact-sorts the candidates.
+func (b *binIndex) nearest(x, y float64, k int) []sample {
+	cx := int(x / b.cell)
+	cy := int(y / b.cell)
+	var cands []sample
+	for r := 0; r < b.cols+b.rows; r++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if maxAbs(dx, dy) != r { // ring only
+					continue
+				}
+				gx, gy := cx+dx, cy+dy
+				if gx < 0 || gy < 0 || gx >= b.cols || gy >= b.rows {
+					continue
+				}
+				cands = append(cands, b.buckets[gy*b.cols+gx]...)
+			}
+		}
+		// One extra ring after reaching k guards against a closer sample
+		// hiding in the next ring.
+		if len(cands) >= k && r >= 1 {
+			break
+		}
+	}
+	return nearest(cands, x, y, k)
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package autotune
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// contentionProbe models the Fig 10 behaviour: makespan halves with
+// concurrency; failures appear beyond a threshold.
+func contentionProbe(tasks, failAbove int) Probe {
+	return func(c int) (ProbeResult, error) {
+		gens := (tasks + c - 1) / c
+		res := ProbeResult{Tasks: tasks, MakespanS: float64(gens) * 180, Attempts: tasks}
+		if c > failAbove {
+			res.Attempts = tasks * 5 // heavy resubmission
+			res.MakespanS *= 2
+		}
+		return res, nil
+	}
+}
+
+func TestFindsHighestSafeConcurrency(t *testing.T) {
+	var log strings.Builder
+	cfg := NewConfig(1, 32)
+	cfg.Log = &log
+	rec, err := FindConcurrency(cfg, contentionProbe(32, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Concurrency != 16 {
+		t.Fatalf("recommended %d, want 16 (the paper's 2^4 operating point)", rec.Concurrency)
+	}
+	// Sweep stops right after the first failing point (32).
+	if n := len(rec.Observations); n != 6 {
+		t.Fatalf("observations = %d, want 6 (1..32)", n)
+	}
+	if rec.SpeedupVsSerial < 15 || rec.SpeedupVsSerial > 17 {
+		t.Fatalf("speedup vs serial = %v, want ≈16", rec.SpeedupVsSerial)
+	}
+	if !strings.Contains(log.String(), "c=16") {
+		t.Fatal("log missing probe lines")
+	}
+}
+
+func TestToleranceAdmitsLossyPoint(t *testing.T) {
+	cfg := NewConfig(1, 32)
+	cfg.FailureTolerance = 0.9
+	rec, err := FindConcurrency(cfg, contentionProbe(32, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Concurrency != 32 {
+		t.Fatalf("with 90%% tolerance recommended %d, want 32", rec.Concurrency)
+	}
+}
+
+func TestAllFailing(t *testing.T) {
+	cfg := NewConfig(4, 8)
+	_, err := FindConcurrency(cfg, contentionProbe(32, 1))
+	if !errors.Is(err, ErrAllFailing) {
+		t.Fatalf("err = %v, want ErrAllFailing", err)
+	}
+}
+
+func TestProbeErrorPropagates(t *testing.T) {
+	cfg := NewConfig(1, 4)
+	boom := errors.New("boom")
+	_, err := FindConcurrency(cfg, func(int) (ProbeResult, error) { return ProbeResult{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := FindConcurrency(NewConfig(8, 4), contentionProbe(8, 8)); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err := FindConcurrency(NewConfig(1, 4), nil); err == nil {
+		t.Fatal("nil probe accepted")
+	}
+}
+
+func TestFailureRate(t *testing.T) {
+	p := ProbeResult{Tasks: 32, Attempts: 157}
+	if got := p.FailureRate(); got < 0.79 || got > 0.81 {
+		t.Fatalf("failure rate = %v (the paper's 157-attempt run ≈ 0.80)", got)
+	}
+	if (ProbeResult{}).FailureRate() != 0 {
+		t.Fatal("zero attempts should be rate 0")
+	}
+}
+
+func TestContinueThroughFailuresWhenConfigured(t *testing.T) {
+	cfg := NewConfig(1, 32)
+	cfg.StopOnFailure = false
+	// Failures at 4 and 8 only (non-monotone probe).
+	probe := func(c int) (ProbeResult, error) {
+		res := ProbeResult{Tasks: 8, Attempts: 8, MakespanS: float64(8/c) * 100}
+		if c == 4 || c == 8 {
+			res.Attempts = 16
+		}
+		if res.MakespanS == 0 {
+			res.MakespanS = 100
+		}
+		return res, nil
+	}
+	rec, err := FindConcurrency(cfg, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Concurrency != 32 {
+		t.Fatalf("recommended %d, want 32 (sweep must continue past failures)", rec.Concurrency)
+	}
+	if len(rec.Observations) != 6 {
+		t.Fatalf("observations = %d, want all 6", len(rec.Observations))
+	}
+}

@@ -1,0 +1,337 @@
+// Package broker implements the in-process message broker that substitutes
+// RabbitMQ in this reproduction (paper §II-C).
+//
+// EnTK relies on the broker for three properties the paper calls out
+// explicitly: (1) producers and consumers are topology-unaware and interact
+// only with the broker; (2) messages survive component failures (durability
+// plus acknowledgements); and (3) production and consumption are asynchronous
+// because the broker buffers. This package reproduces those semantics with
+// named queues, per-consumer prefetch, ack/nack with requeue, optional
+// journal-backed durability, and per-queue statistics used by the Fig 6
+// prototype benchmark.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/journal"
+)
+
+// Errors returned by broker operations.
+var (
+	ErrClosed       = errors.New("broker: closed")
+	ErrNoQueue      = errors.New("broker: no such queue")
+	ErrQueueExists  = errors.New("broker: queue already declared")
+	ErrAlreadyAcked = errors.New("broker: message already acknowledged")
+)
+
+// Message is a unit of data in transit through the broker.
+type Message struct {
+	// ID is unique per broker instance.
+	ID uint64
+	// Body is the opaque payload.
+	Body []byte
+	// Redelivered is true when the message was previously delivered and
+	// returned to the queue via Nack(requeue=true) or consumer cancellation.
+	Redelivered bool
+}
+
+// Delivery is a message handed to a consumer. Exactly one of Ack or Nack
+// must be called; until then the message is "unacked" and is redelivered if
+// the consumer is cancelled.
+type Delivery struct {
+	Message
+	q    *queue
+	c    *Consumer
+	once sync.Once
+	done bool
+}
+
+// Ack acknowledges the delivery, removing the message permanently.
+func (d *Delivery) Ack() error {
+	err := ErrAlreadyAcked
+	d.once.Do(func() {
+		err = d.q.settle(d, false, false)
+	})
+	return err
+}
+
+// Nack rejects the delivery. With requeue, the message returns to the front
+// of the queue flagged Redelivered; otherwise it is dropped.
+func (d *Delivery) Nack(requeue bool) error {
+	err := ErrAlreadyAcked
+	d.once.Do(func() {
+		err = d.q.settle(d, true, requeue)
+	})
+	return err
+}
+
+// QueueStats is a snapshot of one queue's counters.
+type QueueStats struct {
+	Name      string
+	Depth     int    // messages ready for delivery
+	Unacked   int    // delivered but not yet acked
+	PeakDepth int    // maximum ready depth observed
+	Published uint64 // total messages published
+	Delivered uint64 // total deliveries (including redeliveries)
+	Acked     uint64
+	Nacked    uint64
+	Bytes     int64 // bytes currently held (ready + unacked)
+	PeakBytes int64
+}
+
+// QueueOptions configure a queue at declaration time.
+type QueueOptions struct {
+	// Durable journals publishes and acks, so queue contents can be
+	// recovered after a crash via Broker.Recover.
+	Durable bool
+}
+
+// Options configure a Broker.
+type Options struct {
+	// Journal, if non-nil, backs durable queues.
+	Journal *journal.Journal
+	// PerOpDelay, if non-nil, is invoked once per publish and once per
+	// delivery. The workflow layer uses it to charge the host-performance
+	// cost of traversing the messaging infrastructure (paper §IV-A).
+	PerOpDelay func()
+}
+
+// Broker is an in-process, multi-queue message broker. It is safe for
+// concurrent use by any number of producers and consumers.
+type Broker struct {
+	mu     sync.RWMutex // guards queues/closed; hot paths take read locks
+	queues map[string]*queue
+	nextID atomic.Uint64
+	closed bool
+	opts   Options
+}
+
+// New returns an empty broker.
+func New(opts Options) *Broker {
+	return &Broker{queues: make(map[string]*queue), opts: opts}
+}
+
+// DeclareQueue creates a queue. Declaring an existing name returns
+// ErrQueueExists.
+func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.queues[name]; ok {
+		return ErrQueueExists
+	}
+	q := newQueue(b, name, opts)
+	b.queues[name] = q
+	return nil
+}
+
+// DeleteQueue removes a queue, cancelling its consumers.
+func (b *Broker) DeleteQueue(name string) error {
+	b.mu.Lock()
+	q, ok := b.queues[name]
+	if ok {
+		delete(b.queues, name)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return ErrNoQueue
+	}
+	q.close()
+	return nil
+}
+
+// Queues returns the names of all declared queues.
+func (b *Broker) Queues() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.queues))
+	for n := range b.queues {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (b *Broker) lookup(name string) (*queue, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	q, ok := b.queues[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoQueue, name)
+	}
+	return q, nil
+}
+
+// Publish appends body to the named queue.
+func (b *Broker) Publish(queueName string, body []byte) error {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return err
+	}
+	if b.opts.PerOpDelay != nil {
+		b.opts.PerOpDelay()
+	}
+	return q.publish(Message{ID: b.nextID.Add(1), Body: body})
+}
+
+// Get synchronously pops one ready message, returning ok=false when the
+// queue is empty. The returned delivery must still be acked or nacked.
+func (b *Broker) Get(queueName string) (*Delivery, bool, error) {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return nil, false, err
+	}
+	d, ok := q.get()
+	if ok && b.opts.PerOpDelay != nil {
+		b.opts.PerOpDelay()
+	}
+	return d, ok, nil
+}
+
+// Consume registers a consumer on the named queue. prefetch bounds the
+// number of unacked deliveries outstanding for this consumer (0 means 1).
+func (b *Broker) Consume(queueName string, prefetch int) (*Consumer, error) {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return nil, err
+	}
+	return q.consume(prefetch), nil
+}
+
+// Purge drops all ready messages from the queue, returning how many were
+// removed.
+func (b *Broker) Purge(queueName string) (int, error) {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return 0, err
+	}
+	return q.purge(), nil
+}
+
+// Stats returns a snapshot of the named queue's counters.
+func (b *Broker) Stats(queueName string) (QueueStats, error) {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return QueueStats{}, err
+	}
+	return q.stats(), nil
+}
+
+// TotalStats aggregates statistics across all queues.
+func (b *Broker) TotalStats() QueueStats {
+	b.mu.Lock()
+	qs := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		qs = append(qs, q)
+	}
+	b.mu.Unlock()
+	var tot QueueStats
+	tot.Name = "*"
+	for _, q := range qs {
+		s := q.stats()
+		tot.Depth += s.Depth
+		tot.Unacked += s.Unacked
+		tot.PeakDepth += s.PeakDepth
+		tot.Published += s.Published
+		tot.Delivered += s.Delivered
+		tot.Acked += s.Acked
+		tot.Nacked += s.Nacked
+		tot.Bytes += s.Bytes
+		tot.PeakBytes += s.PeakBytes
+	}
+	return tot
+}
+
+// Close shuts the broker down, cancelling all consumers. Outstanding
+// deliveries are dropped.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	qs := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		qs = append(qs, q)
+	}
+	b.mu.Unlock()
+	for _, q := range qs {
+		q.close()
+	}
+}
+
+// Journal record types used for durable queues.
+const (
+	recPublish = "broker.publish"
+	recAck     = "broker.ack"
+)
+
+type publishRec struct {
+	Queue string `json:"q"`
+	ID    uint64 `json:"id"`
+	Body  []byte `json:"body"`
+}
+
+type ackRec struct {
+	Queue string `json:"q"`
+	ID    uint64 `json:"id"`
+}
+
+// Recover rebuilds durable queue contents from the journal at path. Queues
+// must be declared (durable) before calling Recover. Messages that were
+// published but never acked are restored as Redelivered.
+func (b *Broker) Recover(path string) error {
+	pending := map[string]map[uint64][]byte{} // queue -> id -> body
+	order := map[string][]uint64{}
+	err := journal.Replay(path, func(rec journal.Record) error {
+		switch rec.Type {
+		case recPublish:
+			var p publishRec
+			if err := journal.Decode(rec, &p); err != nil {
+				return err
+			}
+			if pending[p.Queue] == nil {
+				pending[p.Queue] = map[uint64][]byte{}
+			}
+			pending[p.Queue][p.ID] = p.Body
+			order[p.Queue] = append(order[p.Queue], p.ID)
+		case recAck:
+			var a ackRec
+			if err := journal.Decode(rec, &a); err != nil {
+				return err
+			}
+			if m := pending[a.Queue]; m != nil {
+				delete(m, a.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for qname, ids := range order {
+		q, err := b.lookup(qname)
+		if err != nil {
+			continue // queue not re-declared: skip, like RabbitMQ's auto-delete
+		}
+		for _, id := range ids {
+			body, ok := pending[qname][id]
+			if !ok {
+				continue
+			}
+			if err := q.restore(Message{ID: b.nextID.Add(1), Body: body, Redelivered: true}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

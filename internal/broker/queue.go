@@ -1,0 +1,331 @@
+package broker
+
+import (
+	"container/list"
+	"sync"
+)
+
+// queue is a single named message queue. Delivery order is FIFO; nacked
+// messages requeue at the front, matching RabbitMQ's basic.reject semantics.
+type queue struct {
+	b    *Broker
+	name string
+	opts QueueOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ready     *list.List // of Message
+	unacked   map[uint64]*Delivery
+	consumers map[*Consumer]struct{}
+	closed    bool
+
+	// counters
+	published uint64
+	delivered uint64
+	acked     uint64
+	nacked    uint64
+	bytes     int64
+	peakDepth int
+	peakBytes int64
+}
+
+func newQueue(b *Broker, name string, opts QueueOptions) *queue {
+	q := &queue{
+		b:         b,
+		name:      name,
+		opts:      opts,
+		ready:     list.New(),
+		unacked:   make(map[uint64]*Delivery),
+		consumers: make(map[*Consumer]struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) journalPublish(m Message) error {
+	if !q.opts.Durable || q.b.opts.Journal == nil {
+		return nil
+	}
+	_, err := q.b.opts.Journal.Append(recPublish, publishRec{Queue: q.name, ID: m.ID, Body: m.Body})
+	return err
+}
+
+func (q *queue) journalAck(id uint64) error {
+	if !q.opts.Durable || q.b.opts.Journal == nil {
+		return nil
+	}
+	_, err := q.b.opts.Journal.Append(recAck, ackRec{Queue: q.name, ID: id})
+	return err
+}
+
+func (q *queue) publish(m Message) error {
+	if err := q.journalPublish(m); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.ready.PushBack(m)
+	q.published++
+	q.bytes += int64(len(m.Body))
+	q.trackPeaksLocked()
+	q.cond.Signal()
+	return nil
+}
+
+// restore re-inserts a recovered message without journaling it again.
+func (q *queue) restore(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.ready.PushBack(m)
+	q.published++
+	q.bytes += int64(len(m.Body))
+	q.trackPeaksLocked()
+	q.cond.Signal()
+	return nil
+}
+
+func (q *queue) trackPeaksLocked() {
+	if d := q.ready.Len(); d > q.peakDepth {
+		q.peakDepth = d
+	}
+	if q.bytes > q.peakBytes {
+		q.peakBytes = q.bytes
+	}
+}
+
+// get pops one ready message synchronously.
+func (q *queue) get() (*Delivery, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.ready.Len() == 0 {
+		return nil, false
+	}
+	return q.popLocked(nil), true
+}
+
+// popLocked removes the head message and registers it as unacked.
+func (q *queue) popLocked(c *Consumer) *Delivery {
+	front := q.ready.Front()
+	m := front.Value.(Message)
+	q.ready.Remove(front)
+	d := &Delivery{Message: m, q: q, c: c}
+	q.unacked[m.ID] = d
+	q.delivered++
+	return d
+}
+
+// settle completes a delivery: ack, drop, or requeue.
+func (q *queue) settle(d *Delivery, nack, requeue bool) error {
+	if !nack {
+		if err := q.journalAck(d.ID); err != nil {
+			return err
+		}
+	}
+	q.mu.Lock()
+	if _, ok := q.unacked[d.ID]; !ok {
+		q.mu.Unlock()
+		return ErrAlreadyAcked
+	}
+	delete(q.unacked, d.ID)
+	d.done = true
+	switch {
+	case !nack:
+		q.acked++
+		q.bytes -= int64(len(d.Body))
+	case requeue:
+		q.nacked++
+		m := d.Message
+		m.Redelivered = true
+		q.ready.PushFront(m)
+		q.trackPeaksLocked()
+		q.cond.Signal()
+	default:
+		q.nacked++
+		q.bytes -= int64(len(d.Body))
+	}
+	c := d.c
+	q.mu.Unlock()
+	if c != nil {
+		c.release()
+	}
+	return nil
+}
+
+func (q *queue) purge() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.ready.Len()
+	for e := q.ready.Front(); e != nil; e = e.Next() {
+		q.bytes -= int64(len(e.Value.(Message).Body))
+	}
+	q.ready.Init()
+	return n
+}
+
+func (q *queue) stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Name:      q.name,
+		Depth:     q.ready.Len(),
+		Unacked:   len(q.unacked),
+		PeakDepth: q.peakDepth,
+		Published: q.published,
+		Delivered: q.delivered,
+		Acked:     q.acked,
+		Nacked:    q.nacked,
+		Bytes:     q.bytes,
+		PeakBytes: q.peakBytes,
+	}
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	consumers := make([]*Consumer, 0, len(q.consumers))
+	for c := range q.consumers {
+		consumers = append(consumers, c)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	for _, c := range consumers {
+		c.Cancel()
+	}
+}
+
+// Consumer receives deliveries from one queue on its Deliveries channel.
+type Consumer struct {
+	q        *queue
+	prefetch int
+	ch       chan *Delivery
+
+	mu       sync.Mutex
+	inflight int
+	stopped  bool
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+func (q *queue) consume(prefetch int) *Consumer {
+	if prefetch <= 0 {
+		prefetch = 1
+	}
+	c := &Consumer{
+		q:        q,
+		prefetch: prefetch,
+		ch:       make(chan *Delivery, prefetch),
+		stopCh:   make(chan struct{}),
+	}
+	q.mu.Lock()
+	q.consumers[c] = struct{}{}
+	q.mu.Unlock()
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// Deliveries is the channel on which the consumer receives messages. It is
+// closed when the consumer is cancelled or the queue/broker closes.
+func (c *Consumer) Deliveries() <-chan *Delivery { return c.ch }
+
+// Cancel stops the consumer and requeues its unacked deliveries.
+func (c *Consumer) Cancel() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	close(c.stopCh)
+	c.mu.Unlock()
+	c.q.mu.Lock()
+	delete(c.q.consumers, c.q.consumerSelf(c))
+	c.q.cond.Broadcast() // wake loop if blocked
+	c.q.mu.Unlock()
+	c.wg.Wait()
+	// Requeue whatever this consumer still holds.
+	c.q.mu.Lock()
+	var orphans []*Delivery
+	for _, d := range c.q.unacked {
+		if d.c == c {
+			orphans = append(orphans, d)
+		}
+	}
+	c.q.mu.Unlock()
+	for _, d := range orphans {
+		d.Nack(true) //nolint:errcheck // already-settled deliveries are fine
+	}
+}
+
+// consumerSelf exists to keep map deletion symmetrical under the queue lock.
+func (q *queue) consumerSelf(c *Consumer) *Consumer { return c }
+
+func (c *Consumer) release() {
+	c.mu.Lock()
+	c.inflight--
+	c.mu.Unlock()
+	c.q.mu.Lock()
+	c.q.cond.Broadcast()
+	c.q.mu.Unlock()
+}
+
+func (c *Consumer) capacityFree() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight < c.prefetch
+}
+
+func (c *Consumer) loop() {
+	defer c.wg.Done()
+	defer close(c.ch)
+	q := c.q
+	for {
+		q.mu.Lock()
+		for !q.closed && !c.isStopped() && (q.ready.Len() == 0 || !c.capacityFreeLocked()) {
+			q.cond.Wait()
+		}
+		if q.closed || c.isStopped() {
+			q.mu.Unlock()
+			return
+		}
+		d := q.popLocked(c)
+		q.mu.Unlock()
+		if d.q.b.opts.PerOpDelay != nil {
+			d.q.b.opts.PerOpDelay()
+		}
+		c.mu.Lock()
+		c.inflight++
+		c.mu.Unlock()
+		select {
+		case c.ch <- d:
+		case <-c.stopCh:
+			d.Nack(true) //nolint:errcheck
+			return
+		}
+	}
+}
+
+func (c *Consumer) isStopped() bool {
+	select {
+	case <-c.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// capacityFreeLocked must only be called while holding q.mu; it takes the
+// consumer lock, which is always acquired after the queue lock.
+func (c *Consumer) capacityFreeLocked() bool {
+	return c.capacityFree()
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/hostmodel"
+	"repro/internal/journal"
+	"repro/internal/profiler"
+	"repro/internal/vclock"
+)
+
+// Queue names forming the paper's Fig 2 topology.
+const (
+	QueuePending = "pending"  // WFProcessor.Enqueue -> Emgr          (Fig 2, 1-2)
+	QueueDone    = "done"     // RTS Callback -> WFProcessor.Dequeue  (Fig 2, 4-5)
+	QueueStates  = "states"   // components -> Synchronizer           (Fig 2, 6)
+	ackPrefix    = "sync-ack" // Synchronizer -> components           (Fig 2, 7)
+)
+
+// Config tunes an AppManager.
+type Config struct {
+	// Clock drives all modelled durations. Required.
+	Clock vclock.Clock
+	// Host models the machine running EnTK. Defaults to the null model.
+	Host *hostmodel.Model
+	// Profiler receives overhead measurements. Created if nil.
+	Profiler *profiler.Profiler
+	// JournalPath, when non-empty, enables transactional state journaling
+	// and crash recovery.
+	JournalPath string
+	// StateStore, when non-nil, mirrors every committed state transition
+	// to an external database — the paper's §II-B4 hook ("Information is
+	// synced on disk and hooks are in place to use an external database").
+	// A write failure fails the transaction, keeping updates transactional.
+	StateStore StateStore
+	// TaskRetries is the default number of automatic resubmissions for a
+	// failed task (paper §II-A: "resubmission of failed tasks, without
+	// application checkpointing").
+	TaskRetries int
+	// RTSRestarts bounds how many times a failed RTS is restarted
+	// ("Users can configure the number of times a RTS is restarted").
+	RTSRestarts int
+	// HeartbeatInterval is the virtual period of the RTS liveness probe.
+	// Defaults to 10 virtual seconds.
+	HeartbeatInterval time.Duration
+	// EmgrBatch bounds how many pending tasks the Emgr submits per RTS
+	// call. Defaults to 1024.
+	EmgrBatch int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Clock == nil {
+		return errors.New("core: config requires a clock")
+	}
+	if c.Host == nil {
+		c.Host = hostmodel.Null()
+	}
+	if c.Profiler == nil {
+		c.Profiler = profiler.New(c.Clock)
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 10 * time.Second
+	}
+	if c.EmgrBatch <= 0 {
+		c.EmgrBatch = 1024
+	}
+	if c.TaskRetries < 0 {
+		c.TaskRetries = 0
+	}
+	return nil
+}
+
+// AppManager is EnTK's master component and the only stateful one (paper
+// §II-B3). It holds the application description, owns the messaging
+// infrastructure, spawns the Synchronizer, WFProcessor and ExecManager, and
+// applies every state transition they request.
+type AppManager struct {
+	cfg   Config
+	clock vclock.Clock
+	prof  *profiler.Profiler
+	host  *hostmodel.Model
+
+	res        ResourceDesc
+	rtsFactory RTSFactory
+
+	mu        sync.Mutex
+	pipelines []*Pipeline
+	tasks     map[string]*Task
+	stages    map[string]*Stage
+	pipes     map[string]*Pipeline
+	running   bool
+
+	jrn *journal.Journal
+	brk *broker.Broker
+
+	active int64 // tasks currently being managed (for host strain)
+
+	completionMu sync.Mutex // serializes stage/pipeline completion logic
+
+	doneCh chan struct{}
+	errMu  sync.Mutex
+	runErr error
+
+	sync *synchronizer
+	wfp  *wfProcessor
+	emgr *execManager
+}
+
+// NewAppManager builds an AppManager from config.
+func NewAppManager(cfg Config) (*AppManager, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	am := &AppManager{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		prof:   cfg.Profiler,
+		host:   cfg.Host,
+		tasks:  make(map[string]*Task),
+		stages: make(map[string]*Stage),
+		pipes:  make(map[string]*Pipeline),
+		doneCh: make(chan struct{}),
+	}
+	return am, nil
+}
+
+// SetResource records the resource request passed to the RTS.
+func (am *AppManager) SetResource(res ResourceDesc) { am.res = res }
+
+// Resource returns the configured resource description.
+func (am *AppManager) Resource() ResourceDesc { return am.res }
+
+// SetRTSFactory installs the runtime-system factory.
+func (am *AppManager) SetRTSFactory(f RTSFactory) { am.rtsFactory = f }
+
+// Profiler returns the profiler measuring this application.
+func (am *AppManager) Profiler() *profiler.Profiler { return am.prof }
+
+// AddPipelines registers pipelines. Before Run it only records them; during
+// execution it validates, registers and schedules them immediately — the
+// runtime workflow extension adaptive applications use to fan out new
+// pipelines from a PostExec decision (§II-B1). Runtime additions should be
+// made from a PostExec hook (or before the application drains), otherwise
+// they race with application completion.
+func (am *AppManager) AddPipelines(ps ...*Pipeline) error {
+	am.mu.Lock()
+	if !am.running {
+		am.pipelines = append(am.pipelines, ps...)
+		am.mu.Unlock()
+		return nil
+	}
+	am.mu.Unlock()
+	return am.addPipelinesRuntime(ps)
+}
+
+// addPipelinesRuntime validates and registers pipelines added mid-run.
+func (am *AppManager) addPipelinesRuntime(ps []*Pipeline) error {
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	am.mu.Lock()
+	// Dependency check (membership + acyclicity) over the union of
+	// registered and new pipelines.
+	union := make([]*Pipeline, 0, len(am.pipelines)+len(ps))
+	union = append(union, am.pipelines...)
+	union = append(union, ps...)
+	if err := checkDependencyGraph(union); err != nil {
+		am.mu.Unlock()
+		return err
+	}
+	// Register entities with duplicate protection, then publish.
+	for _, p := range ps {
+		if _, dup := am.pipes[p.UID]; dup {
+			am.mu.Unlock()
+			return fmt.Errorf("core: duplicate pipeline UID %s", p.UID)
+		}
+	}
+	for _, p := range ps {
+		am.pipes[p.UID] = p
+		for _, s := range p.Stages() {
+			s.setParent(p.UID)
+			am.stages[s.UID] = s
+			for _, t := range s.Tasks() {
+				t.setParent(p.UID, s.UID)
+				am.tasks[t.UID] = t
+			}
+		}
+		am.pipelines = append(am.pipelines, p)
+	}
+	am.mu.Unlock()
+	am.Nudge()
+	return nil
+}
+
+// AddPipelineGroups registers an application expressed as the paper's
+// extended PST description — a list of sets of pipelines (§II-B1). All
+// pipelines of one group execute concurrently; every pipeline of group i+1
+// starts only after every pipeline of group i has finished. Dependencies
+// across non-adjacent groups follow transitively.
+func (am *AppManager) AddPipelineGroups(groups ...[]*Pipeline) error {
+	for i, group := range groups {
+		if len(group) == 0 {
+			return fmt.Errorf("core: pipeline group %d is empty", i)
+		}
+		if i > 0 {
+			for _, p := range group {
+				if err := p.After(groups[i-1]...); err != nil {
+					return err
+				}
+			}
+		}
+		if err := am.AddPipelines(group...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateDependencies checks that every declared predecessor is part of the
+// application and that the dependency graph is acyclic (a cycle would
+// deadlock the enqueue loop).
+func (am *AppManager) validateDependencies() error {
+	return checkDependencyGraph(am.Pipelines())
+}
+
+// checkDependencyGraph verifies membership and acyclicity of the pipeline
+// dependency graph over the given set.
+func checkDependencyGraph(pipes []*Pipeline) error {
+	member := make(map[*Pipeline]bool, len(pipes))
+	for _, p := range pipes {
+		member[p] = true
+	}
+	// Colors for iterative DFS cycle detection: 0 unvisited, 1 on stack,
+	// 2 done.
+	color := make(map[*Pipeline]int, len(pipes))
+	var visit func(p *Pipeline) error
+	visit = func(p *Pipeline) error {
+		switch color[p] {
+		case 1:
+			return fmt.Errorf("core: pipeline dependency cycle through %s (%s)", p.UID, p.Name)
+		case 2:
+			return nil
+		}
+		color[p] = 1
+		for _, pred := range p.Predecessors() {
+			if !member[pred] {
+				return fmt.Errorf("core: pipeline %s (%s) depends on unregistered pipeline %s (%s)",
+					p.UID, p.Name, pred.UID, pred.Name)
+			}
+			if err := visit(pred); err != nil {
+				return err
+			}
+		}
+		color[p] = 2
+		return nil
+	}
+	for _, p := range pipes {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pipelines returns the registered pipelines.
+func (am *AppManager) Pipelines() []*Pipeline {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	out := make([]*Pipeline, len(am.pipelines))
+	copy(out, am.pipelines)
+	return out
+}
+
+// Task resolves a task UID from the registry.
+func (am *AppManager) Task(uid string) (*Task, bool) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	t, ok := am.tasks[uid]
+	return t, ok
+}
+
+// TaskCount returns the number of registered tasks.
+func (am *AppManager) TaskCount() int {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return len(am.tasks)
+}
+
+// ActiveTasks returns the number of tasks currently being managed.
+func (am *AppManager) ActiveTasks() int {
+	return int(atomic.LoadInt64(&am.active))
+}
+
+// Broker exposes the messaging layer (observability and tests).
+func (am *AppManager) Broker() *broker.Broker { return am.brk }
+
+// Nudge wakes the WFProcessor's enqueue loop. Adaptive applications call it
+// after resuming a suspended pipeline or mutating the workflow from outside
+// a PostExec hook.
+func (am *AppManager) Nudge() {
+	if am.wfp != nil {
+		am.wfp.nudge()
+	}
+}
+
+// RTSRestarts reports how many times the RTS was torn down and restarted.
+func (am *AppManager) RTSRestarts() int {
+	if am.emgr == nil {
+		return 0
+	}
+	return am.emgr.Restarts()
+}
+
+// registerEntities indexes every pipeline, stage and task and wires parents.
+func (am *AppManager) registerEntities() error {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	for _, p := range am.pipelines {
+		if _, dup := am.pipes[p.UID]; dup {
+			return fmt.Errorf("core: duplicate pipeline UID %s", p.UID)
+		}
+		am.pipes[p.UID] = p
+		for _, s := range p.Stages() {
+			if _, dup := am.stages[s.UID]; dup {
+				return fmt.Errorf("core: duplicate stage UID %s", s.UID)
+			}
+			s.setParent(p.UID)
+			am.stages[s.UID] = s
+			for _, t := range s.Tasks() {
+				if _, dup := am.tasks[t.UID]; dup {
+					return fmt.Errorf("core: duplicate task UID %s", t.UID)
+				}
+				t.setParent(p.UID, s.UID)
+				am.tasks[t.UID] = t
+			}
+		}
+	}
+	return nil
+}
+
+// registerLateStage indexes a stage added at runtime by a PostExec hook.
+func (am *AppManager) registerLateStage(p *Pipeline, s *Stage) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if _, ok := am.stages[s.UID]; ok {
+		return
+	}
+	s.setParent(p.UID)
+	am.stages[s.UID] = s
+	for _, t := range s.Tasks() {
+		t.setParent(p.UID, s.UID)
+		am.tasks[t.UID] = t
+	}
+}
+
+// validateApp checks the whole application description, charging the host's
+// per-task validation cost (part of EnTK Setup Overhead).
+func (am *AppManager) validateApp() error {
+	if len(am.Pipelines()) == 0 {
+		return errors.New("core: application has no pipelines")
+	}
+	nTasks := 0
+	for _, p := range am.Pipelines() {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		nTasks += p.TaskCount()
+	}
+	if err := am.validateDependencies(); err != nil {
+		return err
+	}
+	if am.res.Resource == "" {
+		return errors.New("core: no resource description")
+	}
+	if am.res.Cores <= 0 {
+		return errors.New("core: resource requests no cores")
+	}
+	if am.rtsFactory == nil {
+		return errors.New("core: no RTS factory configured")
+	}
+	cost := time.Duration(nTasks) * am.host.ValidationCost
+	am.clock.Sleep(cost)
+	am.prof.Add(profiler.EnTKSetup, cost)
+	return nil
+}
+
+// msgDelay charges one broker traversal to the management overhead,
+// applying host strain at the current task concurrency.
+func (am *AppManager) msgDelay() {
+	cost := am.host.EffectiveMsgCost(am.ActiveTasks())
+	if cost > 0 {
+		am.clock.Sleep(cost)
+	}
+	am.prof.Add(profiler.EnTKManagement, cost)
+}
+
+// spawnCost charges the instantiation of n components/subcomponents/queues
+// to the setup overhead. Costs are accounted exactly (not wall-derived), so
+// overhead figures are noise-free at any clock scale.
+func (am *AppManager) spawnCost(n int) {
+	cost := time.Duration(n) * am.host.SpawnCost
+	am.clock.Sleep(cost)
+	am.prof.Add(profiler.EnTKSetup, cost)
+}
+
+// teardownCost charges the termination of n components.
+func (am *AppManager) teardownCost(n int) {
+	cost := time.Duration(n) * am.host.TeardownCost
+	am.clock.Sleep(cost)
+	am.prof.Add(profiler.EnTKTeardown, cost)
+}
+
+// Run executes the application to completion (or ctx cancellation). It is
+// the code path the paper's execution model describes end to end: setup,
+// enqueue/execute/dequeue cycles with synchronized state transitions, and
+// ordered tear-down.
+func (am *AppManager) Run(ctx context.Context) error {
+	am.mu.Lock()
+	if am.running {
+		am.mu.Unlock()
+		return errors.New("core: AppManager already running")
+	}
+	am.running = true
+	am.mu.Unlock()
+
+	// ---- EnTK Setup -----------------------------------------------------
+	if err := am.validateApp(); err != nil {
+		return err
+	}
+	if err := am.registerEntities(); err != nil {
+		return err
+	}
+	if am.cfg.JournalPath != "" {
+		j, err := journal.Open(am.cfg.JournalPath, journal.Options{})
+		if err != nil {
+			return err
+		}
+		am.jrn = j
+		defer am.jrn.Close()
+		if err := am.recoverFromJournal(); err != nil {
+			return err
+		}
+	}
+	if am.cfg.StateStore != nil {
+		if err := am.recoverFromStateStore(); err != nil {
+			return err
+		}
+	}
+
+	am.brk = broker.New(broker.Options{PerOpDelay: am.msgDelay})
+	queues := []string{QueuePending, QueueDone, QueueStates}
+	ackQueues := []string{
+		ackPrefix + "-enq", ackPrefix + "-deq", ackPrefix + "-emgr",
+		ackPrefix + "-cb", ackPrefix + "-hb",
+	}
+	for _, q := range append(append([]string{}, queues...), ackQueues...) {
+		if err := am.brk.DeclareQueue(q, broker.QueueOptions{}); err != nil {
+			return err
+		}
+	}
+	am.spawnCost(len(queues) + len(ackQueues)) // messaging infrastructure
+
+	// Spawn Synchronizer, WFProcessor (Enqueue, Dequeue) and ExecManager
+	// (Rmgr, Emgr, RTS Callback, Heartbeat): 2 components + 7
+	// subcomponents, matching Fig 2.
+	am.sync = newSynchronizer(am)
+	am.wfp = newWFProcessor(am)
+	am.emgr = newExecManager(am)
+	am.spawnCost(9)
+
+	if err := am.sync.start(); err != nil {
+		return err
+	}
+
+	// ---- Resource acquisition and execution -----------------------------
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if err := am.emgr.start(runCtx); err != nil {
+		am.stopComponents()
+		return err
+	}
+	if err := am.wfp.start(runCtx); err != nil {
+		am.emgr.stop()
+		am.stopComponents()
+		return err
+	}
+
+	// Wait for completion or cancellation.
+	var err error
+	select {
+	case <-am.doneCh:
+		err = am.takeErr()
+	case <-ctx.Done():
+		err = ctx.Err()
+		am.cancelRemainingTasks()
+	}
+
+	// ---- Tear-down -------------------------------------------------------
+	am.wfp.stop()
+	am.emgr.stopComponentsOnly()
+	am.sync.stop()
+	am.teardownCost(9)
+	am.brk.Close()
+
+	// RTS tear-down is measured by the RTS itself (black box).
+	am.emgr.stopRTS()
+
+	return err
+}
+
+func (am *AppManager) takeErr() error {
+	am.errMu.Lock()
+	defer am.errMu.Unlock()
+	return am.runErr
+}
+
+func (am *AppManager) setErr(err error) {
+	am.errMu.Lock()
+	defer am.errMu.Unlock()
+	if am.runErr == nil {
+		am.runErr = err
+	}
+}
+
+// finish signals Run that the application reached a terminal state.
+func (am *AppManager) finish(err error) {
+	if err != nil {
+		am.setErr(err)
+	}
+	am.completionMu.Lock()
+	defer am.completionMu.Unlock()
+	am.finishLocked()
+}
+
+// finishLocked closes the completion channel; completionMu must be held.
+func (am *AppManager) finishLocked() {
+	select {
+	case <-am.doneCh:
+	default:
+		close(am.doneCh)
+	}
+}
+
+// allPipelinesTerminal reports whether the application has finished.
+func (am *AppManager) allPipelinesTerminal() bool {
+	for _, p := range am.Pipelines() {
+		if !p.State().Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelRemainingTasks marks every non-terminal entity canceled after a
+// context cancellation.
+func (am *AppManager) cancelRemainingTasks() {
+	am.mu.Lock()
+	tasks := make([]*Task, 0, len(am.tasks))
+	for _, t := range am.tasks {
+		tasks = append(tasks, t)
+	}
+	pipes := append([]*Pipeline(nil), am.pipelines...)
+	am.mu.Unlock()
+	for _, t := range tasks {
+		if !t.State().Terminal() {
+			t.forceState(TaskCanceled)
+		}
+	}
+	for _, p := range pipes {
+		if !p.State().Terminal() {
+			p.forceState(PipelineCanceled)
+		}
+		for _, s := range p.Stages() {
+			if !s.State().Terminal() {
+				s.forceState(StageCanceled)
+			}
+		}
+	}
+}
+
+// stopComponents tears down whatever was started during a failed setup.
+func (am *AppManager) stopComponents() {
+	if am.sync != nil {
+		am.sync.stop()
+	}
+	if am.brk != nil {
+		am.brk.Close()
+	}
+}
+
+// retriesFor resolves a task's resubmission budget.
+func (am *AppManager) retriesFor(t *Task) int {
+	if t.MaxRetries >= 0 {
+		return t.MaxRetries
+	}
+	return am.cfg.TaskRetries
+}

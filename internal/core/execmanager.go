@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/broker"
+)
+
+// execManager is the Workload-Management-layer component (paper Fig 2) with
+// four subcomponents:
+//
+//   - Rmgr acquires resources by instantiating and starting the RTS.
+//   - Emgr pulls tasks from the pending queue, translates them to
+//     RTS-specific descriptions and submits them (Fig 2, arrows 2-3).
+//   - RTS Callback pushes completed tasks to the done queue (arrow 4).
+//   - Heartbeat probes RTS liveness and drives tear-down/restart of a
+//     failed RTS, re-executing only the tasks lost in flight (§II-B4).
+type execManager struct {
+	am *AppManager
+
+	mu       sync.Mutex
+	rts      RTS
+	restarts int
+
+	pendC    *broker.Consumer
+	emgrSync *syncClient
+	hbSync   *syncClient
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	// inflight tracks task UIDs submitted to the current RTS instance and
+	// not yet reported back; on RTS failure these are the lost tasks.
+	inflightMu sync.Mutex
+	inflight   map[string]bool
+}
+
+func newExecManager(am *AppManager) *execManager {
+	return &execManager{
+		am:       am,
+		stopCh:   make(chan struct{}),
+		inflight: make(map[string]bool),
+	}
+}
+
+// start brings up Rmgr (RTS acquisition), Emgr, Callback and Heartbeat.
+func (e *execManager) start(ctx context.Context) error {
+	var err error
+	if e.emgrSync, err = newSyncClient(e.am, ackPrefix+"-emgr"); err != nil {
+		return err
+	}
+	if e.hbSync, err = newSyncClient(e.am, ackPrefix+"-hb"); err != nil {
+		return err
+	}
+
+	// Rmgr: instantiate and start the RTS (resource acquisition).
+	rts, err := e.am.rtsFactory(e.am.res)
+	if err != nil {
+		return fmt.Errorf("core: rts factory: %w", err)
+	}
+	if err := rts.Start(ctx); err != nil {
+		return fmt.Errorf("core: rts start: %w", err)
+	}
+	e.mu.Lock()
+	e.rts = rts
+	e.mu.Unlock()
+
+	if e.pendC, err = e.am.brk.Consume(QueuePending, e.am.cfg.EmgrBatch); err != nil {
+		return err
+	}
+
+	e.wg.Add(3)
+	go e.emgrLoop(ctx)
+	go e.callbackLoop(rts)
+	go e.heartbeatLoop(ctx)
+	return nil
+}
+
+// currentRTS returns the live RTS instance.
+func (e *execManager) currentRTS() RTS {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rts
+}
+
+// emgrLoop drains the pending queue in batches and submits to the RTS.
+func (e *execManager) emgrLoop(ctx context.Context) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ctx.Done():
+			return
+		case d, ok := <-e.pendC.Deliveries():
+			if !ok {
+				return
+			}
+			batch := []*broker.Delivery{d}
+			// Opportunistically batch whatever else is ready.
+		drain:
+			for len(batch) < e.am.cfg.EmgrBatch {
+				select {
+				case d2, ok2 := <-e.pendC.Deliveries():
+					if !ok2 {
+						break drain
+					}
+					batch = append(batch, d2)
+				default:
+					break drain
+				}
+			}
+			if err := e.submitBatch(batch); err != nil {
+				e.am.finish(err)
+				return
+			}
+		}
+	}
+}
+
+// submitBatch translates and submits one batch of pending tasks.
+func (e *execManager) submitBatch(batch []*broker.Delivery) error {
+	descs := make([]TaskDescription, 0, len(batch))
+	tasks := make([]*Task, 0, len(batch))
+	for _, d := range batch {
+		var msg pendingMsg
+		if err := json.Unmarshal(d.Body, &msg); err != nil {
+			d.Nack(false) //nolint:errcheck
+			continue
+		}
+		bad := false
+		for _, uid := range msg.TaskUIDs {
+			t, ok := e.am.Task(uid)
+			if !ok {
+				bad = true
+				continue
+			}
+			descs = append(descs, describeTask(t))
+			tasks = append(tasks, t)
+		}
+		if bad {
+			d.Nack(false) //nolint:errcheck
+			continue
+		}
+	}
+	// Both transitions are applied in bulk before the RTS sees the batch:
+	// a fast RTS may otherwise report completion before SUBMITTED is
+	// recorded. Redelivered tasks (RTS refused a previous batch) skip
+	// transitions they already made.
+	var toSubmitting, toSubmitted []*Task
+	for _, t := range tasks {
+		switch t.State() {
+		case TaskScheduled:
+			toSubmitting = append(toSubmitting, t)
+			toSubmitted = append(toSubmitted, t)
+		case TaskSubmitting:
+			toSubmitted = append(toSubmitted, t)
+		}
+	}
+	if err := e.emgrSync.taskBatch(toSubmitting, TaskSubmitting); err != nil {
+		for _, d := range batch {
+			d.Nack(true) //nolint:errcheck
+		}
+		return err
+	}
+	if err := e.emgrSync.taskBatch(toSubmitted, TaskSubmitted); err != nil {
+		for _, d := range batch {
+			d.Nack(true) //nolint:errcheck
+		}
+		return err
+	}
+	if len(descs) == 0 {
+		for _, d := range batch {
+			d.Ack() //nolint:errcheck
+		}
+		return nil
+	}
+	e.inflightMu.Lock()
+	for _, t := range tasks {
+		e.inflight[t.UID] = true
+	}
+	e.inflightMu.Unlock()
+	rts := e.currentRTS()
+	if rts == nil {
+		for _, d := range batch {
+			d.Nack(true) //nolint:errcheck
+		}
+		return fmt.Errorf("core: no RTS available")
+	}
+	if err := rts.Submit(descs); err != nil {
+		// The RTS refused the batch; requeue and let the heartbeat decide
+		// whether the RTS is dead.
+		e.inflightMu.Lock()
+		for _, t := range tasks {
+			delete(e.inflight, t.UID)
+		}
+		e.inflightMu.Unlock()
+		for _, d := range batch {
+			d.Nack(true) //nolint:errcheck
+		}
+		return nil
+	}
+	for _, d := range batch {
+		d.Ack() //nolint:errcheck
+	}
+	return nil
+}
+
+// callbackLoop forwards one RTS instance's completions to the done queue,
+// coalescing bursts into one bulk message per drain.
+func (e *execManager) callbackLoop(rts RTS) {
+	defer e.wg.Done()
+	for res := range rts.Completions() {
+		results := []TaskResult{res}
+	drain:
+		for len(results) < 256 {
+			select {
+			case more, ok := <-rts.Completions():
+				if !ok {
+					break drain
+				}
+				results = append(results, more)
+			default:
+				break drain
+			}
+		}
+		e.inflightMu.Lock()
+		for _, r := range results {
+			delete(e.inflight, r.UID)
+		}
+		e.inflightMu.Unlock()
+		body, err := json.Marshal(results)
+		if err != nil {
+			continue
+		}
+		if err := e.am.brk.Publish(QueueDone, body); err != nil {
+			return // broker closed: tearing down
+		}
+	}
+}
+
+// heartbeatLoop probes RTS liveness every HeartbeatInterval of virtual time.
+func (e *execManager) heartbeatLoop(ctx context.Context) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ctx.Done():
+			return
+		case <-e.am.clock.After(e.am.cfg.HeartbeatInterval):
+			rts := e.currentRTS()
+			if rts == nil || rts.Alive() {
+				continue
+			}
+			if err := e.failover(ctx, rts); err != nil {
+				e.am.finish(err)
+				return
+			}
+		}
+	}
+}
+
+// failover implements the paper's RTS failure model: "EnTK purges any
+// process left over by the failed RTS, starts a new instance of the RTS,
+// acquires new pilot resources, and restarts executing the ensemble until
+// completion", losing "only those tasks that were in execution at the time
+// of the RTS failure".
+func (e *execManager) failover(ctx context.Context, failed RTS) error {
+	e.mu.Lock()
+	if e.rts != failed {
+		e.mu.Unlock()
+		return nil // already replaced
+	}
+	e.restarts++
+	if e.restarts > e.am.cfg.RTSRestarts {
+		e.mu.Unlock()
+		return fmt.Errorf("core: RTS failed %d times; restart budget exhausted", e.restarts)
+	}
+	e.rts = nil
+	e.mu.Unlock()
+
+	failed.Stop() //nolint:errcheck // purge the dead RTS
+
+	// The lost tasks: submitted to the dead RTS, never reported back.
+	e.inflightMu.Lock()
+	lost := make([]string, 0, len(e.inflight))
+	for uid := range e.inflight {
+		lost = append(lost, uid)
+	}
+	e.inflight = make(map[string]bool)
+	e.inflightMu.Unlock()
+
+	fresh, err := e.am.rtsFactory(e.am.res)
+	if err != nil {
+		return fmt.Errorf("core: rts factory on restart: %w", err)
+	}
+	if err := fresh.Start(ctx); err != nil {
+		return fmt.Errorf("core: rts restart: %w", err)
+	}
+	e.mu.Lock()
+	e.rts = fresh
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.callbackLoop(fresh)
+
+	// Re-inject lost tasks through the normal path: their in-flight
+	// attempt failed through no fault of their own, so the RTS restart
+	// does not consume the tasks' own retry budget — they are marked
+	// failed by the restart and rescheduled immediately.
+	for _, uid := range lost {
+		t, ok := e.am.Task(uid)
+		if !ok {
+			continue
+		}
+		if err := e.hbSync.taskResult(t, TaskExecuted, -1, "rts failure"); err != nil {
+			return err
+		}
+		if err := e.hbSync.task(t, TaskFailed); err != nil {
+			return err
+		}
+		if err := e.hbSync.task(t, TaskScheduling); err != nil {
+			return err
+		}
+		if err := e.hbSync.task(t, TaskScheduled); err != nil {
+			return err
+		}
+		body, err := json.Marshal(pendingMsg{TaskUIDs: []string{uid}})
+		if err != nil {
+			return err
+		}
+		if err := e.am.brk.Publish(QueuePending, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restarts reports how many times the RTS was restarted.
+func (e *execManager) Restarts() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.restarts
+}
+
+// stop tears down subcomponents and the RTS.
+func (e *execManager) stop() {
+	e.stopComponentsOnly()
+	e.stopRTS()
+}
+
+// stopComponentsOnly cancels the Emgr/Callback/Heartbeat subcomponents but
+// leaves the RTS running (its tear-down is measured separately).
+func (e *execManager) stopComponentsOnly() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	if e.pendC != nil {
+		e.pendC.Cancel()
+	}
+	// Callback loops exit when the RTS closes Completions (stopRTS) or the
+	// broker closes. Sync clients are closed after the wait in stopRTS.
+}
+
+// stopRTS shuts the runtime system down and waits for subcomponents.
+func (e *execManager) stopRTS() {
+	rts := e.currentRTS()
+	if rts != nil {
+		rts.Stop() //nolint:errcheck
+	}
+	e.wg.Wait()
+	if e.emgrSync != nil {
+		e.emgrSync.close()
+	}
+	if e.hbSync != nil {
+		e.hbSync.close()
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// ResourceDesc tells EnTK which CI to use and how big a pilot to request,
+// mirroring EnTK's resource dictionary (resource, walltime, cpus, gpus,
+// queue, project).
+type ResourceDesc struct {
+	// Resource is the CI name (e.g. "titan", "supermic").
+	Resource string
+	// Cores is the pilot size in cores.
+	Cores int
+	// GPUs is the pilot's GPU count; the agent schedules GPU tasks
+	// against it exactly as it schedules cores.
+	GPUs int
+	// Walltime is the pilot's requested walltime.
+	Walltime time.Duration
+	// Queue and Project are passed through to the batch system.
+	Queue   string
+	Project string
+}
+
+// TaskDescription is the RTS-facing translation of a Task — what EnTK's
+// Emgr hands to the runtime system (paper: "translate tasks from and to
+// RTS-specific objects").
+type TaskDescription struct {
+	UID         string
+	Name        string
+	Executable  string
+	Arguments   []string
+	Environment map[string]string
+	Cores       int
+	GPUs        int
+	Duration    time.Duration
+	IOLoad      float64
+	PreExec     int // number of pre-exec commands (each costs env setup time)
+	PostExec    int
+	Input       []StagingDirective
+	Output      []StagingDirective
+	Attempt     int
+	// Tags carry placement hints (see Task.Tags).
+	Tags map[string]string
+	// LocalFunc carries in-process computation (see Task.LocalFunc).
+	LocalFunc func() error
+}
+
+// TaskResult is the RTS's report of one finished task attempt.
+type TaskResult struct {
+	UID      string
+	ExitCode int
+	Error    string
+	Canceled bool
+	// Started and Finished bound the executable's run (virtual time).
+	Started  time.Time
+	Finished time.Time
+	// StagingTime is the virtual time spent staging this task's data.
+	StagingTime time.Duration
+}
+
+// RTSStats exposes counters from the runtime system.
+type RTSStats struct {
+	PilotsSubmitted int
+	TasksSubmitted  int
+	TasksCompleted  int
+	TasksFailed     int
+	TasksInFlight   int
+	Restarts        int
+}
+
+// RTS is the black-box runtime-system interface (paper §II-B2: "the
+// isolation of the RTS into a stand-alone subsystem ... enables
+// composability of EnTK with diverse RTS"). EnTK only ever drives an RTS
+// through this interface; internal/rts provides the RADICAL-Pilot-like
+// implementation and tests provide fakes.
+type RTS interface {
+	// Name identifies the runtime system.
+	Name() string
+	// Start acquires resources (submits the pilot) and boots the agent.
+	// It returns once the RTS accepts work; resource availability may
+	// still be pending, exactly like a queued pilot.
+	Start(ctx context.Context) error
+	// Submit hands task descriptions to the RTS for execution.
+	Submit(tasks []TaskDescription) error
+	// Completions delivers task results as they finish. The channel is
+	// closed by Stop.
+	Completions() <-chan TaskResult
+	// Alive reports whether the RTS is healthy; the ExecManager heartbeat
+	// polls it (paper: EnTK tears down and restarts a failed RTS).
+	Alive() bool
+	// Stop cancels pilots and shuts the RTS down, closing Completions.
+	Stop() error
+	// Stats returns counters.
+	Stats() RTSStats
+}
+
+// RTSFactory builds a fresh RTS instance. The ExecManager uses it both for
+// the initial start and for restarts after an RTS failure, so the RTS is
+// replaceable mid-run (paper §II-B4: "EnTK purges any process left over by
+// the failed RTS, starts a new instance of the RTS ... and restarts
+// executing the ensemble until completion").
+type RTSFactory func(res ResourceDesc) (RTS, error)
+
+// describeTask translates a Task into its RTS description.
+func describeTask(t *Task) TaskDescription {
+	return TaskDescription{
+		UID:         t.UID,
+		Name:        t.Name,
+		Executable:  t.Executable,
+		Arguments:   append([]string(nil), t.Arguments...),
+		Environment: copyTags(t.Environment),
+		Cores:       t.CPUReqs.Cores(),
+		GPUs:        t.GPUReqs.Processes,
+		Duration:    t.Duration,
+		IOLoad:      t.IOLoad,
+		PreExec:     len(t.PreExec),
+		PostExec:    len(t.PostExec),
+		Input:       append([]StagingDirective(nil), t.InputStaging...),
+		Output:      append([]StagingDirective(nil), t.OutputStaging...),
+		Attempt:     t.Attempts(),
+		Tags:        copyTags(t.Tags),
+		LocalFunc:   t.LocalFunc,
+	}
+}
+
+func copyTags(tags map[string]string) map[string]string {
+	if len(tags) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(tags))
+	for k, v := range tags {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stage is "a set of tasks without mutual dependences and that can be
+// executed concurrently" (paper §II-B1).
+type Stage struct {
+	UID  string
+	Name string
+
+	// PostExec, when non-nil, runs after the stage reaches DONE and before
+	// the pipeline advances. It is EnTK's adaptivity hook: the paper's
+	// branching events are "tasks where a decision is made about the
+	// runtime flow"; PostExec lets that decision add stages to the owning
+	// pipeline (used by the AUA use case to iterate until convergence).
+	PostExec func() error `json:"-"`
+
+	mu          sync.RWMutex
+	tasks       []*Task
+	state       StageState
+	pipelineUID string
+}
+
+// NewStage returns an empty stage in the initial state.
+func NewStage(name string) *Stage {
+	return &Stage{
+		UID:   NewUID("stage"),
+		Name:  name,
+		state: StageInitial,
+	}
+}
+
+// AddTask appends a task to the stage. Only legal before the stage starts
+// scheduling.
+func (s *Stage) AddTask(t *Task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StageInitial && s.state != "" {
+		return fmt.Errorf("core: cannot add task to stage %s in state %s", s.UID, s.state)
+	}
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// AddTasks appends several tasks.
+func (s *Stage) AddTasks(ts ...*Task) error {
+	for _, t := range ts {
+		if err := s.AddTask(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tasks returns the stage's tasks.
+func (s *Stage) Tasks() []*Task {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Task, len(s.tasks))
+	copy(out, s.tasks)
+	return out
+}
+
+// TaskCount returns the number of tasks in the stage.
+func (s *Stage) TaskCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks)
+}
+
+// State returns the stage's current state.
+func (s *Stage) State() StageState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state == "" {
+		return StageInitial
+	}
+	return s.state
+}
+
+func (s *Stage) advance(to StageState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := s.state
+	if from == "" {
+		from = StageInitial
+	}
+	if !legalStage(from, to) {
+		return &TransitionError{Entity: "stage", UID: s.UID, From: string(from), To: string(to)}
+	}
+	s.state = to
+	return nil
+}
+
+func (s *Stage) forceState(st StageState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = st
+}
+
+// Parent returns the owning pipeline's UID.
+func (s *Stage) Parent() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pipelineUID
+}
+
+func (s *Stage) setParent(uid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pipelineUID = uid
+}
+
+// tasksTerminal reports whether every task has reached a terminal state and
+// whether any ended FAILED or CANCELED.
+func (s *Stage) tasksTerminal() (allTerminal bool, anyFailed, anyCanceled bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	allTerminal = true
+	for _, t := range s.tasks {
+		switch t.State() {
+		case TaskDone:
+		case TaskFailed:
+			anyFailed = true
+		case TaskCanceled:
+			anyCanceled = true
+		default:
+			allTerminal = false
+		}
+	}
+	return allTerminal, anyFailed, anyCanceled
+}
+
+// Validate checks the stage description.
+func (s *Stage) Validate() error {
+	if s.UID == "" {
+		return fmt.Errorf("core: stage with empty UID")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.tasks) == 0 {
+		return fmt.Errorf("core: stage %s (%s) has no tasks", s.UID, s.Name)
+	}
+	for _, t := range s.tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

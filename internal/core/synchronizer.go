@@ -1,0 +1,329 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/broker"
+	"repro/internal/journal"
+)
+
+// stateRequest is the message components push through the "states" queue to
+// ask AppManager's Synchronizer for a transition (paper Fig 2, arrow 6).
+type stateRequest struct {
+	Entity string `json:"entity"` // "task" | "stage" | "pipeline"
+	UID    string `json:"uid"`
+	// UIDs, when non-empty, applies the same transition to a batch of
+	// entities in one message — EnTK's bulk state updates, which keep the
+	// synchronization traffic O(stages), not O(tasks).
+	UIDs   []string `json:"uids,omitempty"`
+	Target string   `json:"target"`
+	Reply  string   `json:"reply"` // ack queue (Fig 2, arrow 7)
+	Seq    uint64   `json:"seq"`
+	// Result metadata piggybacked on task transitions.
+	ExitCode int    `json:"exit_code,omitempty"`
+	ExecErr  string `json:"exec_err,omitempty"`
+}
+
+// stateAck is the Synchronizer's acknowledgement.
+type stateAck struct {
+	Seq uint64 `json:"seq"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// journalled record of one applied transition.
+type stateRec struct {
+	Entity string `json:"entity"`
+	UID    string `json:"uid"`
+	State  string `json:"state"`
+}
+
+// StateStore is the external-database hook of the failure model (§II-B4).
+// The Synchronizer mirrors every committed transition into it, and a
+// restarted AppManager reacquires the latest task states from it when no
+// journal is available. internal/statedb provides the reference
+// implementation (the stack's MongoDB stand-in).
+type StateStore interface {
+	// SaveState commits one entity's state transition.
+	SaveState(entity, uid, state string) error
+	// LoadTaskStates returns the latest recorded state per task UID.
+	LoadTaskStates() (map[string]string, error)
+}
+
+// synchronizer is the AppManager subcomponent that serializes every state
+// transition, making AppManager "always up-to-date with any state change ...
+// the only stateful component of EnTK" (§II-B3). Transitions are validated
+// against the legal state machines, applied, journaled and acknowledged.
+type synchronizer struct {
+	am       *AppManager
+	consumer *broker.Consumer
+	wg       sync.WaitGroup
+}
+
+func newSynchronizer(am *AppManager) *synchronizer {
+	return &synchronizer{am: am}
+}
+
+func (s *synchronizer) start() error {
+	c, err := s.am.brk.Consume(QueueStates, 64)
+	if err != nil {
+		return err
+	}
+	s.consumer = c
+	s.wg.Add(1)
+	go s.loop()
+	return nil
+}
+
+func (s *synchronizer) stop() {
+	if s.consumer != nil {
+		s.consumer.Cancel()
+	}
+	s.wg.Wait()
+}
+
+func (s *synchronizer) loop() {
+	defer s.wg.Done()
+	for d := range s.consumer.Deliveries() {
+		var req stateRequest
+		if err := json.Unmarshal(d.Body, &req); err != nil {
+			d.Nack(false) //nolint:errcheck
+			continue
+		}
+		ack := s.apply(&req)
+		body, _ := json.Marshal(ack)
+		// Best effort: the reply queue disappears during tear-down.
+		s.am.brk.Publish(req.Reply, body) //nolint:errcheck
+		d.Ack()                           //nolint:errcheck
+	}
+}
+
+// apply validates and commits one transition (or one batch of identical
+// task transitions).
+func (s *synchronizer) apply(req *stateRequest) stateAck {
+	var err error
+	switch req.Entity {
+	case "task":
+		uids := req.UIDs
+		if len(uids) == 0 {
+			uids = []string{req.UID}
+		}
+		for _, uid := range uids {
+			t, ok := s.am.Task(uid)
+			if !ok {
+				err = fmt.Errorf("core: unknown task %s", uid)
+				break
+			}
+			prev := t.State()
+			err = t.advance(TaskState(req.Target))
+			if err != nil {
+				break
+			}
+			if req.ExitCode != 0 || req.ExecErr != "" {
+				t.setResult(req.ExitCode, req.ExecErr)
+			}
+			s.trackActivity(prev, TaskState(req.Target))
+		}
+	case "stage":
+		s.am.mu.Lock()
+		st, ok := s.am.stages[req.UID]
+		s.am.mu.Unlock()
+		if !ok {
+			err = fmt.Errorf("core: unknown stage %s", req.UID)
+			break
+		}
+		err = st.advance(StageState(req.Target))
+	case "pipeline":
+		s.am.mu.Lock()
+		p, ok := s.am.pipes[req.UID]
+		s.am.mu.Unlock()
+		if !ok {
+			err = fmt.Errorf("core: unknown pipeline %s", req.UID)
+			break
+		}
+		err = p.advance(PipelineState(req.Target))
+	default:
+		err = fmt.Errorf("core: unknown entity kind %q", req.Entity)
+	}
+	if err != nil {
+		return stateAck{Seq: req.Seq, OK: false, Err: err.Error()}
+	}
+	if s.am.jrn != nil || s.am.cfg.StateStore != nil {
+		uids := req.UIDs
+		if len(uids) == 0 {
+			uids = []string{req.UID}
+		}
+		for _, uid := range uids {
+			if s.am.jrn != nil {
+				if _, jerr := s.am.jrn.Append("state", stateRec{
+					Entity: req.Entity, UID: uid, State: req.Target,
+				}); jerr != nil {
+					return stateAck{Seq: req.Seq, OK: false, Err: jerr.Error()}
+				}
+			}
+			if s.am.cfg.StateStore != nil {
+				if derr := s.am.cfg.StateStore.SaveState(req.Entity, uid, req.Target); derr != nil {
+					return stateAck{Seq: req.Seq, OK: false, Err: derr.Error()}
+				}
+			}
+		}
+	}
+	return stateAck{Seq: req.Seq, OK: true}
+}
+
+// trackActivity maintains the count of concurrently managed tasks used for
+// host strain (Fig 8's management-overhead growth past 2,048 tasks).
+func (s *synchronizer) trackActivity(from, to TaskState) {
+	enters := to == TaskScheduling && (from == TaskInitial || from == "" || from == TaskFailed)
+	leaves := to.Terminal()
+	if enters {
+		atomic.AddInt64(&s.am.active, 1)
+	}
+	if leaves {
+		atomic.AddInt64(&s.am.active, -1)
+	}
+}
+
+// syncClient is a component-side handle for requesting transitions. Each
+// subcomponent owns one client with a dedicated ack queue and issues
+// requests serially, so acks match requests one-to-one.
+type syncClient struct {
+	am    *AppManager
+	reply string
+	cons  *broker.Consumer
+	seq   uint64
+}
+
+func newSyncClient(am *AppManager, replyQueue string) (*syncClient, error) {
+	c, err := am.brk.Consume(replyQueue, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &syncClient{am: am, reply: replyQueue, cons: c}, nil
+}
+
+func (c *syncClient) close() {
+	if c.cons != nil {
+		c.cons.Cancel()
+	}
+}
+
+// request asks the Synchronizer for one transition and waits for the ack.
+func (c *syncClient) request(req stateRequest) error {
+	c.seq++
+	req.Reply = c.reply
+	req.Seq = c.seq
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	if err := c.am.brk.Publish(QueueStates, body); err != nil {
+		return err
+	}
+	d, ok := <-c.cons.Deliveries()
+	if !ok {
+		return broker.ErrClosed
+	}
+	defer d.Ack() //nolint:errcheck
+	var ack stateAck
+	if err := json.Unmarshal(d.Body, &ack); err != nil {
+		return err
+	}
+	if ack.Seq != c.seq {
+		return fmt.Errorf("core: ack sequence mismatch: got %d want %d", ack.Seq, c.seq)
+	}
+	if !ack.OK {
+		return fmt.Errorf("core: transition rejected: %s", ack.Err)
+	}
+	return nil
+}
+
+// Convenience wrappers.
+
+func (c *syncClient) task(t *Task, to TaskState) error {
+	return c.request(stateRequest{Entity: "task", UID: t.UID, Target: string(to)})
+}
+
+// taskBatch applies one transition to many tasks in a single message.
+func (c *syncClient) taskBatch(ts []*Task, to TaskState) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	uids := make([]string, len(ts))
+	for i, t := range ts {
+		uids[i] = t.UID
+	}
+	return c.request(stateRequest{Entity: "task", UIDs: uids, Target: string(to)})
+}
+
+func (c *syncClient) taskResult(t *Task, to TaskState, exitCode int, execErr string) error {
+	return c.request(stateRequest{
+		Entity: "task", UID: t.UID, Target: string(to),
+		ExitCode: exitCode, ExecErr: execErr,
+	})
+}
+
+func (c *syncClient) stage(s *Stage, to StageState) error {
+	return c.request(stateRequest{Entity: "stage", UID: s.UID, Target: string(to)})
+}
+
+func (c *syncClient) pipeline(p *Pipeline, to PipelineState) error {
+	return c.request(stateRequest{Entity: "pipeline", UID: p.UID, Target: string(to)})
+}
+
+// recoverFromJournal replays the state journal, restoring DONE tasks so a
+// restarted application does not re-execute completed work (paper §II-B4:
+// "applications can be executed on multiple attempts, without restarting
+// completed tasks"). Tasks caught mid-flight are reset to the initial state
+// for re-scheduling; stages and pipelines are recomputed from task states by
+// the normal scheduling path.
+func (am *AppManager) recoverFromJournal() error {
+	final := map[string]string{}
+	err := journal.Replay(am.cfg.JournalPath, func(rec journal.Record) error {
+		if rec.Type != "state" {
+			return nil
+		}
+		var sr stateRec
+		if err := journal.Decode(rec, &sr); err != nil {
+			return err
+		}
+		if sr.Entity == "task" {
+			final[sr.UID] = sr.State
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for uid, state := range final {
+		if TaskState(state) != TaskDone {
+			continue
+		}
+		if t, ok := am.Task(uid); ok {
+			t.forceState(TaskDone)
+		}
+	}
+	return nil
+}
+
+// recoverFromStateStore reacquires the latest task states from the external
+// database (§II-B4). As with journal recovery, only DONE tasks are restored;
+// everything caught mid-flight is re-scheduled by the normal path.
+func (am *AppManager) recoverFromStateStore() error {
+	states, err := am.cfg.StateStore.LoadTaskStates()
+	if err != nil {
+		return fmt.Errorf("core: state-store recovery: %w", err)
+	}
+	for uid, state := range states {
+		if TaskState(state) != TaskDone {
+			continue
+		}
+		if t, ok := am.Task(uid); ok && !t.State().Terminal() {
+			t.forceState(TaskDone)
+		}
+	}
+	return nil
+}

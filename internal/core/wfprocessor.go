@@ -1,0 +1,465 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/profiler"
+)
+
+// pendingMsg is the body published on the pending queue: task references
+// that the Emgr resolves against AppManager's registry before translating
+// them to RTS descriptions. A message may carry a whole stage's tasks —
+// EnTK's bulk messages keep queue traffic O(stages), not O(tasks).
+type pendingMsg struct {
+	TaskUIDs []string `json:"task_uids"`
+}
+
+// wfProcessor is the Workflow-Management-layer component with the Enqueue
+// and Dequeue subcomponents (paper Fig 2). Enqueue walks the application,
+// tags runnable tasks and pushes them to the pending queue; Dequeue pulls
+// completed tasks from the done queue, finalizes their states, applies the
+// resubmission policy and advances stages and pipelines.
+type wfProcessor struct {
+	am *AppManager
+
+	nudgeCh chan struct{}
+	doneC   *broker.Consumer
+	enqSync *syncClient
+	deqSync *syncClient
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newWFProcessor(am *AppManager) *wfProcessor {
+	return &wfProcessor{
+		am:      am,
+		nudgeCh: make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+func (w *wfProcessor) start(ctx context.Context) error {
+	var err error
+	if w.enqSync, err = newSyncClient(w.am, ackPrefix+"-enq"); err != nil {
+		return err
+	}
+	if w.deqSync, err = newSyncClient(w.am, ackPrefix+"-deq"); err != nil {
+		return err
+	}
+	if w.doneC, err = w.am.brk.Consume(QueueDone, 64); err != nil {
+		return err
+	}
+	// The fixed application-processing cost: translating the workflow into
+	// executable bookkeeping. This dominates EnTK Management Overhead and
+	// is what makes it near-invariant with task count (paper Figs 7-8).
+	if base := w.am.host.MgmtBase; base > 0 {
+		w.am.clock.Sleep(base)
+		w.am.prof.Add(profiler.EnTKManagement, base)
+	}
+	w.wg.Add(2)
+	go w.enqueueLoop(ctx)
+	go w.dequeueLoop(ctx)
+	w.nudge()
+	return nil
+}
+
+func (w *wfProcessor) stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	if w.doneC != nil {
+		w.doneC.Cancel()
+	}
+	w.wg.Wait()
+	if w.enqSync != nil {
+		w.enqSync.close()
+	}
+	if w.deqSync != nil {
+		w.deqSync.close()
+	}
+}
+
+// nudge wakes the enqueue loop; it is called at start, whenever a stage
+// completes, and when an adaptive pipeline resumes.
+func (w *wfProcessor) nudge() {
+	select {
+	case w.nudgeCh <- struct{}{}:
+	default:
+	}
+}
+
+func (w *wfProcessor) enqueueLoop(ctx context.Context) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ctx.Done():
+			return
+		case <-w.nudgeCh:
+			if err := w.enqueueRunnable(); err != nil {
+				w.am.finish(err)
+				return
+			}
+		}
+	}
+}
+
+// enqueueRunnable walks every pipeline and schedules whatever is runnable.
+func (w *wfProcessor) enqueueRunnable() error {
+	for _, p := range w.am.Pipelines() {
+		switch p.State() {
+		case PipelineInitial:
+			// Pipeline-group dependencies (§II-B1): hold the pipeline until
+			// its predecessors finish; cancel it when a predecessor failed.
+			ready, blocked := p.depsStatus()
+			if blocked {
+				if err := w.cancelUnstarted(p); err != nil {
+					return err
+				}
+				continue
+			}
+			if !ready {
+				continue
+			}
+			if err := w.enqSync.pipeline(p, PipelineScheduling); err != nil {
+				return err
+			}
+		case PipelineScheduling:
+		default:
+			continue // suspended or terminal
+		}
+		stage := p.currentStage()
+		if stage == nil {
+			// Cursor past the last stage (can happen after recovery).
+			if err := w.completePipeline(p, w.enqSync); err != nil {
+				return err
+			}
+			continue
+		}
+		if stage.State() != StageInitial {
+			continue // already scheduled; Dequeue owns its completion
+		}
+		if err := w.scheduleStage(p, stage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cancelUnstarted cancels a pipeline that never left its initial state
+// (because a predecessor failed or was canceled), together with all its
+// stages and tasks. Cancellation cascades: pipelines depending on this one
+// observe its CANCELED state on the next enqueue pass.
+func (w *wfProcessor) cancelUnstarted(p *Pipeline) error {
+	for _, s := range p.Stages() {
+		var fresh []*Task
+		for _, t := range s.Tasks() {
+			if t.State() == TaskInitial {
+				fresh = append(fresh, t)
+			}
+		}
+		if err := w.enqSync.taskBatch(fresh, TaskCanceled); err != nil {
+			return err
+		}
+		if s.State() == StageInitial {
+			if err := w.enqSync.stage(s, StageCanceled); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.enqSync.pipeline(p, PipelineCanceled); err != nil {
+		return err
+	}
+	w.am.completionMu.Lock()
+	defer w.am.completionMu.Unlock()
+	if w.am.allPipelinesTerminal() {
+		w.am.finishLocked()
+	}
+	w.nudge() // cascade to this pipeline's own dependents
+	return nil
+}
+
+// scheduleStage tags a stage's unscheduled tasks and pushes them to the
+// pending queue (paper Fig 2, arrow 1).
+func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
+	if err := w.enqSync.stage(stage, StageScheduling); err != nil {
+		return err
+	}
+	var runnable []*Task
+	for _, t := range stage.Tasks() {
+		if t.State() == TaskInitial {
+			runnable = append(runnable, t)
+		} // otherwise recovered as DONE (or already processed)
+	}
+	// Bulk transitions keep synchronization traffic O(stages). Tasks must
+	// be in SCHEDULED before their pending messages become visible, or the
+	// Emgr can race past its transitions.
+	if err := w.enqSync.taskBatch(runnable, TaskScheduling); err != nil {
+		return err
+	}
+	if err := w.enqSync.taskBatch(runnable, TaskScheduled); err != nil {
+		return err
+	}
+	if len(runnable) > 0 {
+		uids := make([]string, len(runnable))
+		for i, t := range runnable {
+			uids[i] = t.UID
+		}
+		body, err := json.Marshal(pendingMsg{TaskUIDs: uids})
+		if err != nil {
+			return err
+		}
+		if err := w.am.brk.Publish(QueuePending, body); err != nil {
+			return err
+		}
+	}
+	if err := w.enqSync.stage(stage, StageScheduled); err != nil {
+		return err
+	}
+	if len(runnable) == 0 {
+		// Every task was already terminal (journal recovery): complete the
+		// stage immediately.
+		return w.maybeCompleteStage(p, stage, w.enqSync)
+	}
+	return nil
+}
+
+func (w *wfProcessor) dequeueLoop(ctx context.Context) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ctx.Done():
+			return
+		case d, ok := <-w.doneC.Deliveries():
+			if !ok {
+				return
+			}
+			// Drain whatever else is ready and process completions as one
+			// batch: bulk state updates keep the dequeue path from
+			// serializing tens of thousands of synchronization round trips
+			// at scale.
+			batch := []*broker.Delivery{d}
+		drain:
+			for len(batch) < 512 {
+				select {
+				case d2, ok2 := <-w.doneC.Deliveries():
+					if !ok2 {
+						break drain
+					}
+					batch = append(batch, d2)
+				default:
+					break drain
+				}
+			}
+			if err := w.handleResultBatch(batch); err != nil {
+				w.am.finish(err)
+				return
+			}
+		}
+	}
+}
+
+// handleResultBatch finalizes a batch of task attempts and drives stage and
+// pipeline progression. Successful tasks advance in bulk; failures and
+// cancellations (rare) are handled individually so exit codes and the
+// resubmission policy stay per-task.
+func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
+	var succeeded []*Task
+	type failure struct {
+		t   *Task
+		res TaskResult
+	}
+	var failures []failure
+	var canceled []*Task
+	for _, d := range batch {
+		var results []TaskResult
+		if err := json.Unmarshal(d.Body, &results); err != nil {
+			d.Nack(false) //nolint:errcheck
+			continue
+		}
+		for _, res := range results {
+			t, ok := w.am.Task(res.UID)
+			if !ok {
+				d.Ack() //nolint:errcheck
+				return fmt.Errorf("core: completion for unknown task %s", res.UID)
+			}
+			switch {
+			case res.Canceled:
+				canceled = append(canceled, t)
+			case res.ExitCode == 0:
+				succeeded = append(succeeded, t)
+			default:
+				failures = append(failures, failure{t: t, res: res})
+			}
+		}
+		d.Ack() //nolint:errcheck
+	}
+
+	// The RTS reported these attempts finished: SUBMITTED -> EXECUTED, then
+	// the terminal state for this attempt.
+	if err := w.deqSync.taskBatch(succeeded, TaskExecuted); err != nil {
+		return err
+	}
+	if err := w.deqSync.taskBatch(succeeded, TaskDone); err != nil {
+		return err
+	}
+	if err := w.deqSync.taskBatch(canceled, TaskExecuted); err != nil {
+		return err
+	}
+	if err := w.deqSync.taskBatch(canceled, TaskCanceled); err != nil {
+		return err
+	}
+	for _, f := range failures {
+		if err := w.deqSync.taskResult(f.t, TaskExecuted, f.res.ExitCode, f.res.Error); err != nil {
+			return err
+		}
+		if err := w.deqSync.task(f.t, TaskFailed); err != nil {
+			return err
+		}
+	}
+
+	// Resubmission policy (paper §II-A): failed tasks are resubmitted up to
+	// the configured budget without restarting completed tasks.
+	affected := map[string]*Task{} // stage UID -> a task of that stage
+	for _, t := range succeeded {
+		_, stageUID := t.Parent()
+		affected[stageUID] = t
+	}
+	for _, t := range canceled {
+		_, stageUID := t.Parent()
+		affected[stageUID] = t
+	}
+	for _, f := range failures {
+		if f.t.Attempts() <= w.am.retriesFor(f.t) {
+			if err := w.resubmit(f.t); err != nil {
+				return err
+			}
+			continue // back in flight; its stage is not terminal yet
+		}
+		_, stageUID := f.t.Parent()
+		affected[stageUID] = f.t
+	}
+
+	for _, t := range affected {
+		pipelineUID, stageUID := t.Parent()
+		w.am.mu.Lock()
+		stage := w.am.stages[stageUID]
+		pipe := w.am.pipes[pipelineUID]
+		w.am.mu.Unlock()
+		if stage == nil || pipe == nil {
+			return fmt.Errorf("core: task %s has unknown parents", t.UID)
+		}
+		if err := w.maybeCompleteStage(pipe, stage, w.deqSync); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resubmit re-queues a failed task attempt. As in scheduleStage, the task
+// reaches SCHEDULED before its pending message is published.
+func (w *wfProcessor) resubmit(t *Task) error {
+	if err := w.deqSync.task(t, TaskScheduling); err != nil {
+		return err
+	}
+	if err := w.deqSync.task(t, TaskScheduled); err != nil {
+		return err
+	}
+	body, err := json.Marshal(pendingMsg{TaskUIDs: []string{t.UID}})
+	if err != nil {
+		return err
+	}
+	return w.am.brk.Publish(QueuePending, body)
+}
+
+// maybeCompleteStage finishes a stage whose tasks are all terminal, runs its
+// PostExec hook, and advances the owning pipeline.
+func (w *wfProcessor) maybeCompleteStage(p *Pipeline, stage *Stage, sc *syncClient) error {
+	w.am.completionMu.Lock()
+	defer w.am.completionMu.Unlock()
+
+	if stage.State().Terminal() {
+		return nil
+	}
+	allTerminal, anyFailed, anyCanceled := stage.tasksTerminal()
+	if !allTerminal {
+		return nil
+	}
+	target := StageDone
+	if anyFailed {
+		target = StageFailed
+	} else if anyCanceled {
+		target = StageCanceled
+	}
+	if err := sc.stage(stage, target); err != nil {
+		return err
+	}
+
+	if target == StageDone && stage.PostExec != nil {
+		// Adaptivity hook: the decision may append stages to the pipeline.
+		before := p.StageCount()
+		if err := stage.PostExec(); err != nil {
+			return fmt.Errorf("core: stage %s post_exec: %w", stage.UID, err)
+		}
+		if p.StageCount() > before {
+			for _, s := range p.Stages()[before:] {
+				w.am.registerLateStage(p, s)
+			}
+		}
+	}
+
+	if target != StageDone {
+		// A failed or canceled stage fails the pipeline: later stages
+		// depend on it (the PST ordering).
+		pTarget := PipelineFailed
+		if target == StageCanceled {
+			pTarget = PipelineCanceled
+		}
+		if err := sc.pipeline(p, pTarget); err != nil {
+			return err
+		}
+		if pTarget == PipelineFailed {
+			w.am.setErr(fmt.Errorf("core: pipeline %s (%s) failed at stage %s",
+				p.UID, p.Name, stage.UID))
+		}
+		if w.am.allPipelinesTerminal() {
+			w.am.finishLocked()
+		}
+		w.nudge() // dependents of p must observe its terminal state
+		return nil
+	}
+
+	if next := p.advanceCursor(); next != nil {
+		w.nudge()
+		return nil
+	}
+	return w.completePipelineLocked(p, sc)
+}
+
+// completePipeline finishes a pipeline whose cursor is exhausted.
+func (w *wfProcessor) completePipeline(p *Pipeline, sc *syncClient) error {
+	w.am.completionMu.Lock()
+	defer w.am.completionMu.Unlock()
+	return w.completePipelineLocked(p, sc)
+}
+
+func (w *wfProcessor) completePipelineLocked(p *Pipeline, sc *syncClient) error {
+	if p.State().Terminal() {
+		return nil
+	}
+	if err := sc.pipeline(p, PipelineDone); err != nil {
+		return err
+	}
+	if w.am.allPipelinesTerminal() {
+		w.am.finishLocked()
+	}
+	w.nudge() // wake pipelines that declared p as a predecessor
+	return nil
+}

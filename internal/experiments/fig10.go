@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/entk"
+	"repro/internal/autotune"
+	"repro/internal/seismic"
+	"repro/internal/workload"
+)
+
+// Fig10Row is one run of the seismic forward-simulation experiment: an
+// ensemble of 384-node Specfem tasks executed at a fixed concurrency.
+type Fig10Row struct {
+	// Tasks is the ensemble size (the paper's series: 1..32 tasks).
+	Tasks int
+	// Concurrency is how many tasks the pilot fits at once (2^0..2^5).
+	Concurrency int
+	// Nodes is the pilot size in Titan nodes (384 * Concurrency).
+	Nodes int
+	// ExecTimeS is the task-execution makespan (virtual seconds).
+	ExecTimeS float64
+	// Attempts counts every task execution attempt, including
+	// resubmissions of contention-failed tasks.
+	Attempts int
+	// Failures counts failed attempts.
+	Failures int
+}
+
+// Fig10Seismic reproduces the Fig 10 sweep: ensembles of heavy forward
+// simulations on pilots sized 2^0..2^5 concurrent tasks. Up to 2^4
+// concurrency the shared filesystem keeps up and no task fails; at 2^5 the
+// aggregate I/O load exceeds the Lustre model's contention threshold, ≈50 %
+// of the tasks fail (the paper's figure), and EnTK's automatic resubmission
+// completes the ensemble anyway in roughly one extra generation.
+func Fig10Seismic(opts *Options) ([]Fig10Row, error) {
+	scale := opts.scaleOr(time.Millisecond)
+	ensemble := 32
+	concurrencies := []int{1, 2, 4, 8, 16, 32}
+	if opts.quick() {
+		ensemble = 8
+		concurrencies = []int{2, 8}
+	}
+	var rows []Fig10Row
+	for _, c := range concurrencies {
+		opts.logf("fig10: %d tasks at concurrency %d", ensemble, c)
+		row, err := fig10Run(ensemble, c, scale)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// Fig10Series runs the full figure: every ensemble size in {1,2,4,8,16,32}
+// at every concurrency <= the ensemble size.
+func Fig10Series(opts *Options) ([]Fig10Row, error) {
+	scale := opts.scaleOr(time.Millisecond)
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	if opts.quick() {
+		sizes = []int{2, 4}
+	}
+	var rows []Fig10Row
+	for _, n := range sizes {
+		for _, c := range sizes {
+			if c > n {
+				continue
+			}
+			opts.logf("fig10 series: %d tasks at concurrency %d", n, c)
+			row, err := fig10Run(n, c, scale)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+// AutotuneConcurrency automates the decision the paper's §IV-C1 makes by
+// reading Fig 10: sweep ensemble concurrencies and recommend the highest
+// failure-free operating point (the paper's answer on Titan: 2⁴).
+func AutotuneConcurrency(opts *Options) (*autotune.Recommendation, error) {
+	scale := opts.scaleOr(time.Millisecond)
+	ensemble, maxC := 32, 32
+	if opts.quick() {
+		ensemble, maxC = 8, 8
+	}
+	cfg := autotune.NewConfig(1, maxC)
+	if opts != nil {
+		cfg.Log = opts.Verbose
+	}
+	return autotune.FindConcurrency(cfg, func(c int) (autotune.ProbeResult, error) {
+		row, err := fig10Run(ensemble, c, scale)
+		if err != nil {
+			return autotune.ProbeResult{}, err
+		}
+		return autotune.ProbeResult{
+			MakespanS: row.ExecTimeS,
+			Attempts:  row.Attempts,
+			Tasks:     row.Tasks,
+		}, nil
+	})
+}
+
+func fig10Run(ensemble, concurrency int, scale time.Duration) (*Fig10Row, error) {
+	params := seismic.ProductionForwardParams()
+	am, err := entk.NewAppManager(entk.AppConfig{
+		Resource: entk.Resource{
+			Name:     "titan",
+			Cores:    concurrency * params.Cores,
+			Walltime: 2 * time.Hour,
+		},
+		TimeScale:   scale,
+		TaskRetries: 10, // resubmit until the ensemble completes
+		Seed:        int64(ensemble*100 + concurrency),
+		Kernels:     []workload.Kernel{seismic.Kernel{}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pipes := seismic.NewForwardEnsemble(ensemble, params)
+	if err := am.AddPipelines(pipes...); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := am.Run(ctx); err != nil {
+		return nil, fmt.Errorf("fig10 (%d tasks, c=%d): %w", ensemble, concurrency, err)
+	}
+	row := &Fig10Row{
+		Tasks:       ensemble,
+		Concurrency: concurrency,
+		Nodes:       concurrency * params.Cores / 16, // Titan: 16 cores/node
+		ExecTimeS:   am.Report().TaskExecution,
+	}
+	for _, p := range pipes {
+		for _, s := range p.Stages() {
+			for _, t := range s.Tasks() {
+				row.Attempts += t.Attempts()
+				row.Failures += t.Attempts() - 1 // every non-final attempt failed
+			}
+		}
+	}
+	return row, nil
+}

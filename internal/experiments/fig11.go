@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/entk"
+	"repro/internal/anen"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig11Result aggregates the AUA-vs-random comparison over repetitions
+// (paper Fig 11: prediction maps and error box plots, 30 repetitions with
+// shared initial random locations).
+type Fig11Result struct {
+	Repetitions int
+	Budget      int
+	GridPixels  int
+
+	AUAErrors    []float64
+	RandomErrors []float64
+	AUABox       stats.BoxPlot
+	RandomBox    stats.BoxPlot
+
+	// Convergence: mean RMSE per iteration (truncated to the shortest
+	// history across repetitions).
+	AUAConvergence    []float64
+	RandomConvergence []float64
+}
+
+// Fig11AnEn reproduces the meteorological use case: for each repetition a
+// synthetic NAM-like world is generated, both methods start from the same
+// random locations, and each runs as an EnTK application whose pipeline
+// encodes the Fig 5 workflow (initialize, preprocess, iterate
+// [sub-region AnEn tasks -> aggregate + decide], post-process).
+func Fig11AnEn(opts *Options) (*Fig11Result, error) {
+	reps := 30
+	gen := anen.DefaultGenConfig()
+	aua := anen.DefaultAUAConfig()
+	if opts.quick() {
+		reps = 3
+		gen = anen.GenConfig{W: 40, H: 40, Vars: 3, Times: 80, Modes: 3,
+			FrontSharpness: 14, NoiseSD: 0.08}
+		aua = anen.AUAConfig{Seeds: 24, PerIteration: 24, Budget: 120,
+			Subregions: 4, Params: anen.DefaultParams()}
+	}
+	res := &Fig11Result{Repetitions: reps, Budget: aua.Budget, GridPixels: gen.W * gen.H}
+	var auaHist, rndHist [][]float64
+	for rep := 0; rep < reps; rep++ {
+		opts.logf("fig11: repetition %d/%d", rep+1, reps)
+		ds, err := anen.Generate(gen, 1000+int64(rep))
+		if err != nil {
+			return nil, err
+		}
+		seedRng := rand.New(rand.NewSource(int64(rep)))
+		seeds := anen.SeedLocations(ds, aua.Seeds, seedRng)
+
+		auaRun, err := runAnEnWorkflow(ds, aua, seeds, int64(rep), true, opts)
+		if err != nil {
+			return nil, err
+		}
+		rndRun, err := runAnEnWorkflow(ds, aua, seeds, int64(rep), false, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.AUAErrors = append(res.AUAErrors, auaRun.RMSE)
+		res.RandomErrors = append(res.RandomErrors, rndRun.RMSE)
+		auaHist = append(auaHist, auaRun.ErrHistory)
+		rndHist = append(rndHist, rndRun.ErrHistory)
+	}
+	res.AUABox = stats.Box(res.AUAErrors)
+	res.RandomBox = stats.Box(res.RandomErrors)
+	res.AUAConvergence = meanHistory(auaHist)
+	res.RandomConvergence = meanHistory(rndHist)
+	return res, nil
+}
+
+func meanHistory(hists [][]float64) []float64 {
+	if len(hists) == 0 {
+		return nil
+	}
+	minLen := len(hists[0])
+	for _, h := range hists {
+		if len(h) < minLen {
+			minLen = len(h)
+		}
+	}
+	out := make([]float64, minLen)
+	for i := 0; i < minLen; i++ {
+		var col []float64
+		for _, h := range hists {
+			col = append(col, h[i])
+		}
+		out[i] = stats.Mean(col)
+	}
+	return out
+}
+
+// anenRunState is the cross-task shared state of one EnTK-encoded AnEn run.
+type anenRunState struct {
+	mu     sync.Mutex
+	values map[int]float64
+	locs   []int
+	hist   []float64
+}
+
+// runAnEnWorkflow executes one AUA (or random) run as an EnTK application.
+// The pipeline structure follows the paper's Fig 5:
+//
+//	Stage 1: initialize AnEn parameters (one task)
+//	Stage 2: pre-process forecasts (one task computing spreads)
+//	Stage 3..N: per-iteration compute stages with M sub-region tasks,
+//	            each followed by an aggregate stage whose single task
+//	            interpolates, evaluates the error, identifies the next
+//	            search space and — via PostExec — extends the pipeline.
+//	Final:   post-process (final interpolation).
+func runAnEnWorkflow(ds *anen.Dataset, cfg anen.AUAConfig, seeds []int, seed int64, adaptive bool, opts *Options) (*anen.Result, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	// The AnEn sub-region tasks carry real computation, which consumes wall
+	// time while the virtual clock keeps ticking; the scale must be coarse
+	// enough that the pilot's walltime comfortably covers the whole run.
+	am, err := entk.NewAppManager(entk.AppConfig{
+		Resource:    entk.Resource{Name: "comet", Cores: 48, Walltime: 47 * time.Hour},
+		TimeScale:   200 * time.Microsecond,
+		HostName:    "null",
+		Seed:        seed,
+		RTSRestarts: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	state := &anenRunState{values: map[int]float64{}}
+	rng := rand.New(rand.NewSource(seed))
+	ip := anen.NewInterpolator(ds.Cfg.W, ds.Cfg.H)
+
+	pipe := core.NewPipeline("anen")
+
+	// Stage 1: initialization.
+	initStage := core.NewStage("initialize")
+	initTask := core.NewTask("init-params")
+	initTask.LocalFunc = func() error { return cfg.Validate(ds) }
+	initStage.AddTask(initTask) //nolint:errcheck
+	pipe.AddStage(initStage)    //nolint:errcheck
+
+	// Stage 2: preprocessing (variable spreads for the metric).
+	preStage := core.NewStage("preprocess")
+	preTask := core.NewTask("compute-spreads")
+	preTask.LocalFunc = func() error { ds.Sigmas(); return nil }
+	preStage.AddTask(preTask) //nolint:errcheck
+	pipe.AddStage(preStage)   //nolint:errcheck
+
+	// Iterative compute/aggregate stages, extended at runtime by PostExec.
+	var addIteration func(locs []int) error
+	addIteration = func(locs []int) error {
+		computeStage := core.NewStage("compute-anen")
+		for i, part := range anen.Partition(locs, cfg.Subregions) {
+			part := part
+			t := core.NewTask(fmt.Sprintf("subregion-%02d", i))
+			t.LocalFunc = func() error {
+				res := ds.PredictBatch(part, cfg.Params)
+				state.mu.Lock()
+				for loc, v := range res {
+					state.values[loc] = v
+				}
+				state.locs = append(state.locs, part...)
+				state.mu.Unlock()
+				return nil
+			}
+			computeStage.AddTask(t) //nolint:errcheck
+		}
+		aggStage := core.NewStage("aggregate")
+		aggTask := core.NewTask("aggregate-and-decide")
+		aggTask.LocalFunc = func() error {
+			state.mu.Lock()
+			defer state.mu.Unlock()
+			m := ip.Interpolate(state.values)
+			state.hist = append(state.hist, rmseAgainst(ds, m))
+			return nil
+		}
+		aggStage.AddTask(aggTask) //nolint:errcheck
+		aggStage.PostExec = func() error {
+			state.mu.Lock()
+			used := len(state.locs)
+			lastErr := state.hist[len(state.hist)-1]
+			state.mu.Unlock()
+			if used >= cfg.Budget {
+				return nil // budget exhausted: fall through to post-process
+			}
+			if cfg.ErrThreshold > 0 && lastErr < cfg.ErrThreshold {
+				return nil // converged
+			}
+			want := cfg.PerIteration
+			if rem := cfg.Budget - used; want > rem {
+				want = rem
+			}
+			var next []int
+			state.mu.Lock()
+			values := state.values
+			state.mu.Unlock()
+			if adaptive {
+				next = anen.RefineLocations(ds, values, rng, want)
+			} else {
+				for _, loc := range rng.Perm(ds.Locations()) {
+					if len(next) == want {
+						break
+					}
+					if _, have := values[loc]; !have {
+						next = append(next, loc)
+					}
+				}
+			}
+			if len(next) == 0 {
+				return nil
+			}
+			return addIteration(next)
+		}
+		if err := pipe.AddStage(computeStage); err != nil {
+			return err
+		}
+		return pipe.AddStage(aggStage)
+	}
+	if err := addIteration(seeds); err != nil {
+		return nil, err
+	}
+	if err := am.AddPipelines(pipe); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := am.Run(ctx); err != nil {
+		return nil, err
+	}
+
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	finalMap := ip.Interpolate(state.values)
+	out := &anen.Result{
+		Locations:  append([]int(nil), state.locs...),
+		Values:     state.values,
+		Map:        finalMap,
+		ErrHistory: append([]float64(nil), state.hist...),
+		Iterations: len(state.hist),
+	}
+	out.RMSE = rmseAgainst(ds, finalMap)
+	return out, nil
+}
+
+func rmseAgainst(ds *anen.Dataset, m []float64) float64 {
+	var pred, truth []float64
+	pred = m
+	truth = ds.Truth
+	return stats.RMSE(pred, truth)
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+)
+
+// Fig6Row is one configuration of the prototype benchmark (Fig 6):
+// producers/consumers/queues and the measured processing times and memory.
+type Fig6Row struct {
+	Producers int
+	Consumers int
+	Queues    int
+	Tasks     int
+
+	ProducerTime  time.Duration // wall time until all tasks are published
+	ConsumerTime  time.Duration // wall time until all tasks are consumed
+	AggregateTime time.Duration // end-to-end wall time
+	BaseMemMB     float64       // heap after component instantiation
+	PeakMemMB     float64       // peak heap during the run
+}
+
+// fig6Task is the task object pushed through the queues, shaped like an
+// EnTK task description.
+type fig6Task struct {
+	UID        string   `json:"uid"`
+	Executable string   `json:"executable"`
+	Arguments  []string `json:"arguments"`
+	Cores      int      `json:"cores"`
+}
+
+// Fig6Prototype benchmarks the broker-centred core of EnTK exactly as the
+// paper's prototype does: P producers push task objects into Q queues, C
+// consumers pull and hand them to an empty RTS module. The paper's
+// configurations are (1,1,1), (2,2,2), (4,4,4), (8,8,8) with 10⁶ tasks.
+func Fig6Prototype(tasks int, configs []int) ([]Fig6Row, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive task count")
+	}
+	if len(configs) == 0 {
+		configs = []int{1, 2, 4, 8}
+	}
+	var rows []Fig6Row
+	for _, n := range configs {
+		row, err := fig6Run(tasks, n, n, n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Uneven runs the uneven-distribution configurations the paper notes
+// are less efficient than even ones.
+func Fig6Uneven(tasks int) ([]Fig6Row, error) {
+	shapes := [][3]int{{8, 1, 1}, {1, 8, 1}, {4, 8, 4}}
+	var rows []Fig6Row
+	for _, s := range shapes {
+		row, err := fig6Run(tasks, s[0], s[1], s[2])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func heapMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+func fig6Run(tasks, producers, consumers, queues int) (Fig6Row, error) {
+	b := broker.New(broker.Options{})
+	defer b.Close()
+	qnames := make([]string, queues)
+	for i := range qnames {
+		qnames[i] = fmt.Sprintf("q%02d", i)
+		if err := b.DeclareQueue(qnames[i], broker.QueueOptions{}); err != nil {
+			return Fig6Row{}, err
+		}
+	}
+
+	row := Fig6Row{Producers: producers, Consumers: consumers, Queues: queues, Tasks: tasks}
+	runtime.GC()
+	row.BaseMemMB = heapMB()
+
+	// Peak-memory sampler.
+	var peak atomic.Uint64
+	peak.Store(uint64(row.BaseMemMB * 1024))
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-tick.C:
+				kb := uint64(heapMB() * 1024)
+				for {
+					cur := peak.Load()
+					if kb <= cur || peak.CompareAndSwap(cur, kb) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	var producerWG sync.WaitGroup
+	var producersDone atomic.Int64
+	perProducer := tasks / producers
+	extra := tasks % producers
+	for p := 0; p < producers; p++ {
+		n := perProducer
+		if p < extra {
+			n++
+		}
+		producerWG.Add(1)
+		go func(p, n int) {
+			defer producerWG.Done()
+			q := qnames[p%queues]
+			for i := 0; i < n; i++ {
+				body, _ := json.Marshal(fig6Task{
+					UID:        fmt.Sprintf("task.%06d.%06d", p, i),
+					Executable: "sleep",
+					Arguments:  []string{"0"},
+					Cores:      1,
+				})
+				b.Publish(q, body) //nolint:errcheck
+			}
+			producersDone.Add(1)
+		}(p, n)
+	}
+
+	var consumed atomic.Int64
+	allDone := make(chan struct{})
+	var consumerWG sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cons, err := b.Consume(qnames[c%queues], 512)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		consumerWG.Add(1)
+		go func(cons *broker.Consumer) {
+			defer consumerWG.Done()
+			for {
+				select {
+				case d, ok := <-cons.Deliveries():
+					if !ok {
+						return
+					}
+					// "Empty RTS module": decode and drop.
+					var t fig6Task
+					json.Unmarshal(d.Body, &t) //nolint:errcheck
+					d.Ack()                    //nolint:errcheck
+					if consumed.Add(1) == int64(tasks) {
+						close(allDone)
+					}
+				case <-allDone:
+					return
+				}
+			}
+		}(cons)
+	}
+
+	producerWG.Wait()
+	row.ProducerTime = time.Since(start)
+	<-allDone
+	row.ConsumerTime = time.Since(start)
+	row.AggregateTime = time.Since(start)
+	b.Close()
+	consumerWG.Wait()
+	close(samplerStop)
+	samplerWG.Wait()
+	row.PeakMemMB = float64(peak.Load()) / 1024
+	return row, nil
+}

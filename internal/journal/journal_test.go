@@ -1,0 +1,288 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Value int    `json:"value"`
+}
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.journal")
+}
+
+func TestAppendAndReplay(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		seq, err := j.Append("task.state", payload{Name: fmt.Sprintf("t%d", i), Value: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []payload
+	err = Replay(path, func(rec Record) error {
+		if rec.Type != "task.state" {
+			t.Fatalf("unexpected type %q", rec.Type)
+		}
+		var p payload
+		if err := Decode(rec, &p); err != nil {
+			return err
+		}
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+	for i, p := range got {
+		if p.Value != i {
+			t.Fatalf("record %d has value %d", i, p.Value)
+		}
+	}
+}
+
+func TestReplayMissingFileIsNoop(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "absent.journal"), func(Record) error {
+		t.Fatal("callback invoked for missing file")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenResumesSequence(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("a", payload{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("a", payload{Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	seq, err := j2.Append("a", payload{Value: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("resumed seq = %d, want 3", seq)
+	}
+}
+
+func TestTornTailIsDiscarded(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := j.Append("x", payload{Value: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: truncate the file inside the last record.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	var count int
+	if err := Replay(path, func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("replayed %d records after torn tail, want 4", count)
+	}
+
+	// Reopening must resume at seq 4 and append cleanly.
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	seq, err := j2.Append("x", payload{Value: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Fatalf("post-recovery seq = %d, want 5", seq)
+	}
+	count = 0
+	if err := Replay(path, func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("replayed %d records after recovery append, want 5", count)
+	}
+}
+
+func TestCorruptedPayloadStopsReplay(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("x", payload{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("x", payload{Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip a byte inside the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var count int
+	if err := Replay(path, func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("replayed %d records with corrupt tail, want 1", count)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := j.Append("x", payload{}); err != ErrClosed {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := j.Append("c", payload{Name: fmt.Sprintf("w%d", w), Value: i}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+
+	var count int
+	seqs := map[uint64]bool{}
+	err = Replay(path, func(rec Record) error {
+		count++
+		if seqs[rec.Seq] {
+			t.Fatalf("duplicate seq %d", rec.Seq)
+		}
+		seqs[rec.Seq] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != writers*perWriter {
+		t.Fatalf("replayed %d, want %d", count, writers*perWriter)
+	}
+}
+
+// Property: any sequence of appended payloads replays back identically, in
+// order, regardless of content.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(values []int32, names []string) bool {
+		path := filepath.Join(t.TempDir(), "prop.journal")
+		j, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		var want []payload
+		for i, v := range values {
+			name := "n"
+			if i < len(names) {
+				name = names[i]
+			}
+			p := payload{Name: name, Value: int(v)}
+			want = append(want, p)
+			if _, err := j.Append("p", p); err != nil {
+				return false
+			}
+		}
+		j.Close()
+		var got []payload
+		if err := Replay(path, func(rec Record) error {
+			var p payload
+			if err := Decode(rec, &p); err != nil {
+				return err
+			}
+			got = append(got, p)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package profiler
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestAddAndSum(t *testing.T) {
+	p := New(vclock.NewManual())
+	p.Add(EnTKSetup, 100*time.Millisecond)
+	p.Add(EnTKSetup, 50*time.Millisecond)
+	p.Add(RTSOverhead, time.Second)
+	if got := p.Sum(EnTKSetup); got != 150*time.Millisecond {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := p.Count(EnTKSetup); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := p.Sum(EnTKTeardown); got != 0 {
+		t.Fatalf("untouched category sum = %v", got)
+	}
+}
+
+func TestAddClampsNegative(t *testing.T) {
+	p := New(vclock.NewManual())
+	p.Add(EnTKSetup, -time.Second)
+	if got := p.Sum(EnTKSetup); got != 0 {
+		t.Fatalf("negative add produced sum %v", got)
+	}
+}
+
+func TestSpanMeasuresVirtualTime(t *testing.T) {
+	c := vclock.NewManual()
+	p := New(c)
+	stop := p.Span(EnTKManagement)
+	c.Advance(7 * time.Second)
+	stop()
+	stop() // idempotent
+	if got := p.Sum(EnTKManagement); got != 7*time.Second {
+		t.Fatalf("span sum = %v, want 7s", got)
+	}
+}
+
+func TestWindowMakespan(t *testing.T) {
+	c := vclock.NewManual()
+	p := New(c)
+	p.Touch(TaskExecution) // first task starts
+	c.Advance(100 * time.Second)
+	p.Touch(TaskExecution)
+	c.Advance(50 * time.Second)
+	p.Touch(TaskExecution) // last task ends
+	if got := p.Window(TaskExecution); got != 150*time.Second {
+		t.Fatalf("window = %v, want 150s", got)
+	}
+	if got := p.Window(DataStaging); got != 0 {
+		t.Fatalf("untouched window = %v", got)
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	c := vclock.NewManual()
+	p := New(c)
+	p.Mark("a")
+	c.Advance(time.Second)
+	p.Mark("b")
+	c.Advance(time.Second)
+	p.Mark("c")
+	evs := p.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if evs[i].Name != name {
+			t.Fatalf("event %d = %q", i, evs[i].Name)
+		}
+	}
+}
+
+func TestReportUsesWindowForTaskExecution(t *testing.T) {
+	c := vclock.NewManual()
+	p := New(c)
+	p.Add(EnTKSetup, 100*time.Millisecond)
+	p.Add(EnTKManagement, 10*time.Second)
+	p.Add(DataStaging, 11*time.Second)
+	p.Touch(TaskExecution)
+	c.Advance(600 * time.Second)
+	p.Touch(TaskExecution)
+	// Extra per-task execution sums must not leak into the makespan figure.
+	p.Add(TaskExecution, 4096*600*time.Second)
+	r := p.Report()
+	if r.TaskExecution != 600 {
+		t.Fatalf("task execution = %v, want 600", r.TaskExecution)
+	}
+	if r.EnTKSetup != 0.1 || r.EnTKManagement != 10 || r.DataStaging != 11 {
+		t.Fatalf("report: %+v", r)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New(vclock.NewScaled(time.Microsecond))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				p.Add(EnTKManagement, time.Millisecond)
+				p.Touch(TaskExecution)
+				p.Mark("tick")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Sum(EnTKManagement); got != 1600*time.Millisecond {
+		t.Fatalf("concurrent sum = %v", got)
+	}
+	if got := len(p.Events()); got != 1600 {
+		t.Fatalf("events = %d", got)
+	}
+}
+
+func TestCategoriesCoverPaperLegend(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 7 {
+		t.Fatalf("expected the paper's 7 categories, got %d", len(cats))
+	}
+	seen := map[Category]bool{}
+	for _, c := range cats {
+		seen[c] = true
+	}
+	for _, want := range []Category{EnTKSetup, EnTKManagement, EnTKTeardown,
+		RTSOverhead, RTSTeardown, DataStaging, TaskExecution} {
+		if !seen[want] {
+			t.Fatalf("category %q missing", want)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package rts
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/profiler"
+	"repro/internal/saga"
+	"repro/internal/workload"
+)
+
+// agent is the pilot-side module (paper Fig 3): a scheduler that places
+// tasks on the pilot's cores and an executor that sets up each task's
+// environment, stages data and spawns the executable.
+type agent struct {
+	rts   *PilotRTS
+	cores int
+	gpus  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	free     int
+	freeGPUs int
+	stopping bool
+
+	stageReq chan *stageRequest
+	wg       sync.WaitGroup
+	stageWG  sync.WaitGroup
+	ranOnce  sync.Once
+}
+
+type stageRequest struct {
+	files []fsim.File
+	done  chan stageGrant
+}
+
+// stageGrant tells an executor when its staging completes: sleep for wait
+// (computed against the stager's serialization watermark), after which
+// duration of staging time has been spent on this task's files.
+type stageGrant struct {
+	wait     time.Duration
+	duration time.Duration
+}
+
+func newAgent(r *PilotRTS, cores, gpus int) *agent {
+	a := &agent{
+		rts:      r,
+		cores:    cores,
+		gpus:     gpus,
+		free:     cores,
+		freeGPUs: gpus,
+		stageReq: make(chan *stageRequest, 4096),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// run starts the scheduler loop and the staging workers; it returns when
+// the store closes.
+func (a *agent) run() {
+	a.ranOnce.Do(func() {
+		for i := 0; i < a.rts.model.Stagers; i++ {
+			a.stageWG.Add(1)
+			go a.stagerLoop()
+		}
+		a.wg.Add(1)
+		go a.schedulerLoop()
+	})
+}
+
+// stagerLoop serializes data staging through one worker (RP's default
+// single stager), charging the Data Staging category. The worker keeps a
+// virtual watermark instead of sleeping per request, so the serialization is
+// exact in virtual time while requesters sleep concurrently — this keeps the
+// wall cost of thousands of staged tasks negligible.
+func (a *agent) stagerLoop() {
+	defer a.stageWG.Done()
+	var watermark time.Time
+	for {
+		select {
+		case <-a.rts.stopCh:
+			return
+		case req := <-a.stageReq:
+			var grant stageGrant
+			if a.rts.cfg.FS != nil && len(req.files) > 0 {
+				d := a.rts.cfg.FS.StageAccounted(req.files)
+				a.rts.prof.Add(profiler.DataStaging, d)
+				now := a.rts.clock.Now()
+				start := now
+				if watermark.After(start) {
+					start = watermark
+				}
+				end := start.Add(d)
+				watermark = end
+				grant = stageGrant{wait: end.Sub(now), duration: d}
+			}
+			select {
+			case req.done <- grant:
+			case <-a.rts.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// stage sends files through the staging workers and sleeps until the
+// serialized staging would have completed.
+func (a *agent) stage(files []fsim.File) time.Duration {
+	if len(files) == 0 {
+		return 0
+	}
+	req := &stageRequest{files: files, done: make(chan stageGrant, 1)}
+	select {
+	case a.stageReq <- req:
+	case <-a.rts.stopCh:
+		return 0
+	}
+	select {
+	case grant := <-req.done:
+		if grant.wait > 0 {
+			select {
+			case <-a.rts.clock.After(grant.wait):
+			case <-a.rts.stopCh:
+			}
+		}
+		return grant.duration
+	case <-a.rts.stopCh:
+		return 0
+	}
+}
+
+// schedulerLoop pulls tasks from the store and places them on free cores,
+// serializing dispatch by DispatchLatency (the weak-scaling delay source).
+// Within a burst of dispatches the stagger is applied as a per-task start
+// delay slept by the executor, which is virtually identical to a serial
+// scheduler but costs one wall sleep per task instead of a serial chain.
+func (a *agent) schedulerLoop() {
+	defer a.wg.Done()
+	burst := 0
+	for {
+		desc, ok := a.rts.store.Pull()
+		if !ok {
+			return
+		}
+		cores := desc.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		if cores > a.cores {
+			// The task can never fit this pilot: report failure.
+			a.rts.deliver(core.TaskResult{
+				UID: desc.UID, ExitCode: 1,
+				Error: "task requires more cores than the pilot has",
+			})
+			continue
+		}
+		gpus := desc.GPUs
+		if gpus > a.gpus {
+			a.rts.deliver(core.TaskResult{
+				UID: desc.UID, ExitCode: 1,
+				Error: "task requires more GPUs than the pilot has",
+			})
+			continue
+		}
+		granted, waited := a.acquire(cores, gpus)
+		if !granted {
+			return // agent stopping
+		}
+		if waited {
+			burst = 0 // the scheduler idled; a new dispatch burst begins
+		}
+		delay := time.Duration(burst) * a.rts.model.DispatchLatency
+		burst++
+		a.wg.Add(1)
+		go func(desc core.TaskDescription, cores, gpus int, delay time.Duration) {
+			defer a.wg.Done()
+			defer a.release(cores, gpus)
+			if delay > 0 {
+				select {
+				case <-a.rts.clock.After(delay):
+				case <-a.rts.stopCh:
+					return
+				}
+			}
+			a.execute(desc)
+		}(desc, cores, gpus, delay)
+	}
+}
+
+// acquire blocks until n cores and g GPUs are free; granted=false when the
+// agent stops, waited=true when the scheduler had to block. Cores and GPUs
+// are acquired atomically so a GPU task cannot deadlock against a CPU task
+// each holding half its needs.
+func (a *agent) acquire(n, g int) (granted, waited bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for (a.free < n || a.freeGPUs < g) && !a.stopping {
+		waited = true
+		a.cond.Wait()
+	}
+	if a.stopping {
+		return false, waited
+	}
+	a.free -= n
+	a.freeGPUs -= g
+	return true, waited
+}
+
+func (a *agent) release(n, g int) {
+	a.mu.Lock()
+	a.free += n
+	a.freeGPUs += g
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// FreeCores reports currently free pilot cores.
+func (a *agent) FreeCores() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free
+}
+
+// FreeGPUs reports currently free pilot GPUs.
+func (a *agent) FreeGPUs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeGPUs
+}
+
+// execute is the executor path for one task: stage in, set up the
+// environment (LaunchDelay + pre-exec), run the kernel for its nominal
+// duration under filesystem load, sample failures, stage out, report.
+func (a *agent) execute(desc core.TaskDescription) {
+	r := a.rts
+
+	// Stage input data (3 links + 1 copy per task in the weak-scaling
+	// experiment). Local actions go through the shared-filesystem stagers;
+	// transfer directives are enacted over the SAGA data-management layer.
+	local, remote := splitStaging(desc.Input)
+	stagingIn := a.stage(stagingFiles(local))
+	xferIn, xferErr := a.transfer(remote)
+	stagingIn += xferIn
+	if xferErr != nil {
+		r := a.rts
+		r.deliver(core.TaskResult{
+			UID:         desc.UID,
+			ExitCode:    1,
+			Error:       "input staging failed: " + xferErr.Error(),
+			StagingTime: stagingIn,
+		})
+		return
+	}
+
+	// Execution-environment setup: this inflates observed task runtime
+	// (paper: 1 s tasks run ≈5 s) but is part of the execution window.
+	r.prof.Touch(profiler.TaskExecution)
+	envSetup := r.model.LaunchDelay +
+		time.Duration(desc.PreExec+desc.PostExec)*r.model.PreExecCost
+	if envSetup > 0 {
+		r.clock.Sleep(envSetup)
+	}
+
+	// Sustained filesystem load while the executable runs.
+	var loadTok *fsim.LoadToken
+	if r.cfg.FS != nil && desc.IOLoad > 0 {
+		loadTok = r.cfg.FS.AcquireLoad(desc.IOLoad)
+	}
+
+	started := r.clock.Now()
+	exitCode := 0
+	output := ""
+	kernel, kerr := r.cfg.Registry.Lookup(desc.Executable)
+	switch {
+	case desc.Executable == "" && desc.LocalFunc != nil:
+		// Pure in-process task: modelled duration then the function.
+		r.clock.Sleep(desc.Duration)
+		if err := desc.LocalFunc(); err != nil {
+			exitCode, output = 1, err.Error()
+		}
+	case kerr != nil:
+		exitCode, output = 127, kerr.Error()
+	default:
+		res, err := kernel.Run(context.Background(), workload.Spec{
+			UID:         desc.UID,
+			Arguments:   desc.Arguments,
+			Environment: desc.Environment,
+			Duration:    desc.Duration,
+			Cores:       desc.Cores,
+			Seed:        r.cfg.Seed + int64(len(desc.UID)),
+		}, &workload.Env{
+			Clock:   r.clock,
+			Compute: r.cfg.Compute,
+			Cancel:  r.stopCh,
+		})
+		if err != nil {
+			exitCode, output = 1, err.Error()
+		} else {
+			exitCode, output = res.ExitCode, res.Output
+		}
+		if exitCode == 0 && desc.LocalFunc != nil {
+			if err := desc.LocalFunc(); err != nil {
+				exitCode, output = 1, err.Error()
+			}
+		}
+	}
+
+	// Failure injection: contention-induced crashes (Fig 10) and
+	// unconditional fault-plan failures. The task is judged against the
+	// peak aggregate load it ran under — the I/O storm crashes writers even
+	// if some of them finish marginally earlier.
+	if exitCode == 0 && loadTok != nil && r.cfg.FS.SampleFailureAt(loadTok.Peak()) {
+		exitCode, output = 137, "I/O error: shared filesystem overloaded"
+	}
+	if exitCode == 0 && r.sampleTaskFault() {
+		exitCode, output = 1, "injected task failure"
+	}
+	if loadTok != nil {
+		loadTok.Release()
+	}
+	finished := r.clock.Now()
+	r.prof.Touch(profiler.TaskExecution)
+	r.prof.Add(profiler.TaskExecution, finished.Sub(started))
+
+	// Stage output data only for successful tasks.
+	stagingOut := time.Duration(0)
+	if exitCode == 0 {
+		localOut, remoteOut := splitStaging(desc.Output)
+		stagingOut = a.stage(stagingFiles(localOut))
+		xferOut, xferOutErr := a.transfer(remoteOut)
+		stagingOut += xferOut
+		if xferOutErr != nil {
+			exitCode, output = 1, "output staging failed: "+xferOutErr.Error()
+		}
+	}
+
+	r.deliver(core.TaskResult{
+		UID:         desc.UID,
+		ExitCode:    exitCode,
+		Error:       output,
+		Started:     started,
+		Finished:    finished,
+		StagingTime: stagingIn + stagingOut,
+	})
+}
+
+// splitStaging partitions directives into local shared-filesystem actions
+// (copy/link/move) and wide-area transfers. When the session has no
+// transfer service, transfers degrade to local copies so applications stay
+// runnable on a bare stack.
+func splitStaging(dirs []core.StagingDirective) (local, remote []core.StagingDirective) {
+	for _, d := range dirs {
+		if d.Action == core.StagingTransfer {
+			remote = append(remote, d)
+			continue
+		}
+		local = append(local, d)
+	}
+	return local, remote
+}
+
+// transfer enacts wide-area staging directives through the SAGA
+// data-management layer. Transfers run per-task (independent streams); per
+// the paper their duration depends only on data size, network bandwidth and
+// latency — not on the RTS. A transfer error (e.g. an unknown protocol in
+// the task description) is returned so the executor can fail the task, the
+// way a real CI surfaces staging errors at execution time.
+func (a *agent) transfer(dirs []core.StagingDirective) (time.Duration, error) {
+	if len(dirs) == 0 {
+		return 0, nil
+	}
+	ts := a.rts.cfg.Session.Transfers()
+	if ts == nil {
+		// No data-management service: fall back to shared-filesystem copies.
+		for i := range dirs {
+			dirs[i].Action = core.StagingCopy
+		}
+		return a.stage(stagingFiles(dirs)), nil
+	}
+	var total time.Duration
+	for _, d := range dirs {
+		res, err := ts.Transfer(saga.TransferRequest{
+			Source:   d.Source,
+			Target:   d.Target,
+			Bytes:    d.Bytes,
+			Protocol: saga.Protocol(d.Protocol),
+		})
+		if err != nil {
+			return total, err
+		}
+		a.rts.prof.Add(profiler.DataStaging, res.Duration)
+		total += res.Duration
+	}
+	return total, nil
+}
+
+// stagingFiles converts staging directives to filesystem-model files.
+func stagingFiles(dirs []core.StagingDirective) []fsim.File {
+	if len(dirs) == 0 {
+		return nil
+	}
+	files := make([]fsim.File, 0, len(dirs))
+	for _, d := range dirs {
+		files = append(files, fsim.File{
+			Name:  d.Source,
+			Bytes: d.Bytes,
+			Link:  d.Action == core.StagingLink,
+		})
+	}
+	return files
+}
+
+// stopAndWait unblocks the scheduler and waits for in-flight executors.
+func (a *agent) stopAndWait() {
+	a.mu.Lock()
+	a.stopping = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	a.wg.Wait()
+	a.stageWG.Wait()
+}

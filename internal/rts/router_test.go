@@ -1,0 +1,356 @@
+package rts
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hpc"
+	"repro/internal/saga"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// newRouterHarness builds a router with a big "titan" member and a small
+// "comet" member, the heterogeneous setup of the seismic use case.
+func newRouterHarness(t *testing.T) (*Router, vclock.Clock) {
+	t.Helper()
+	clock := vclock.NewScaled(time.Microsecond)
+	session := saga.NewSession()
+	t.Cleanup(session.Close)
+	for _, ci := range []string{"titan", "comet"} {
+		a, err := saga.NewCatalogAdapter(ci, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		session.Register(a)
+	}
+	mk := func(ci string, cores int) *PilotRTS {
+		r, err := New(Config{
+			Resource: core.ResourceDesc{Resource: ci, Cores: cores, Walltime: 2 * time.Hour},
+			Clock:    clock,
+			Session:  session,
+			Registry: workload.NewRegistry(),
+			Model:    FastModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	router, err := NewRouter([]RouterMember{
+		{Name: "leadership", RTS: mk("titan", 1024), Resource: "titan", Capacity: 1024},
+		{Name: "cluster", RTS: mk("comet", 48), Resource: "comet", Capacity: 48},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Stop() })
+	return router, clock
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(nil); err == nil {
+		t.Fatal("empty router accepted")
+	}
+	if _, err := NewRouter([]RouterMember{{Name: "x", RTS: nil, Capacity: 1}}); err == nil {
+		t.Fatal("nil member RTS accepted")
+	}
+	clock := vclock.NewScaled(time.Microsecond)
+	session := saga.NewSession()
+	defer session.Close()
+	a, _ := saga.NewCatalogAdapter("comet", clock)
+	session.Register(a)
+	child, _ := New(Config{
+		Resource: core.ResourceDesc{Resource: "comet", Cores: 8, Walltime: time.Hour},
+		Clock:    clock, Session: session, Registry: workload.NewRegistry(), Model: FastModel(),
+	})
+	if _, err := NewRouter([]RouterMember{{Name: "", RTS: child, Capacity: 8}}); err == nil {
+		t.Fatal("unnamed member accepted")
+	}
+	if _, err := NewRouter([]RouterMember{{Name: "x", RTS: child, Capacity: 0}}); err == nil {
+		t.Fatal("zero-capacity member accepted")
+	}
+}
+
+func TestRouterHonoursResourceTag(t *testing.T) {
+	router, _ := newRouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	descs := []core.TaskDescription{
+		{UID: "sim", Executable: "sleep", Duration: time.Second, Cores: 512,
+			Tags: map[string]string{"resource": "titan"}},
+		{UID: "proc", Executable: "sleep", Duration: time.Second, Cores: 4,
+			Tags: map[string]string{"resource": "comet"}},
+	}
+	if err := router.Submit(descs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-router.Completions():
+			if res.ExitCode != 0 {
+				t.Fatalf("task %s failed: %s", res.UID, res.Error)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	if router.RoutedTo("leadership") != 1 || router.RoutedTo("cluster") != 1 {
+		t.Fatalf("routing counts: leadership=%d cluster=%d",
+			router.RoutedTo("leadership"), router.RoutedTo("cluster"))
+	}
+}
+
+func TestRouterRejectsUnknownResourceTag(t *testing.T) {
+	router, _ := newRouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := router.Submit([]core.TaskDescription{{
+		UID: "x", Executable: "sleep", Cores: 1,
+		Tags: map[string]string{"resource": "frontier"},
+	}})
+	if err == nil {
+		t.Fatal("unknown resource tag accepted")
+	}
+}
+
+func TestRouterSizeAwarePlacement(t *testing.T) {
+	router, _ := newRouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// 512-core tasks can only fit the leadership member.
+	var descs []core.TaskDescription
+	for i := 0; i < 2; i++ {
+		descs = append(descs, core.TaskDescription{
+			UID: core.NewUID("big"), Executable: "sleep",
+			Duration: time.Second, Cores: 512,
+		})
+	}
+	if err := router.Submit(descs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-router.Completions():
+			if res.ExitCode != 0 {
+				t.Fatalf("task failed: %s", res.Error)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	if got := router.RoutedTo("leadership"); got != 2 {
+		t.Fatalf("big tasks routed to leadership = %d, want 2", got)
+	}
+	if got := router.RoutedTo("cluster"); got != 0 {
+		t.Fatalf("big tasks routed to cluster = %d, want 0", got)
+	}
+}
+
+func TestRouterRejectsOversizedTask(t *testing.T) {
+	router, _ := newRouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := router.Submit([]core.TaskDescription{{
+		UID: "huge", Executable: "sleep", Cores: 100000,
+	}})
+	if err == nil {
+		t.Fatal("task larger than every member accepted")
+	}
+}
+
+func TestRouterStatsAggregate(t *testing.T) {
+	router, _ := newRouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	router.Submit([]core.TaskDescription{
+		{UID: "a", Executable: "sleep", Duration: time.Second, Cores: 1},
+		{UID: "b", Executable: "sleep", Duration: time.Second, Cores: 1},
+	})
+	for i := 0; i < 2; i++ {
+		<-router.Completions()
+	}
+	s := router.Stats()
+	if s.PilotsSubmitted != 2 {
+		t.Fatalf("pilots = %d, want 2 (one per member)", s.PilotsSubmitted)
+	}
+	if s.TasksCompleted != 2 {
+		t.Fatalf("completed = %d", s.TasksCompleted)
+	}
+}
+
+// TestRouterEndToEndWithEnTK runs a heterogeneous application through the
+// full EnTK stack: simulation tasks pinned to titan, analysis tasks pinned
+// to comet, in sequential stages of one pipeline (the §III-A interleaving).
+func TestRouterEndToEndWithEnTK(t *testing.T) {
+	clock := vclock.NewScaled(time.Microsecond)
+	session := saga.NewSession()
+	defer session.Close()
+	// Private clusters with effectively unlimited walltime caps.
+	for _, spec := range []hpc.Spec{
+		{Name: "titan", Nodes: 1024, CoresPerNode: 16, MaxWalltime: 1e6 * time.Hour},
+		{Name: "comet", Nodes: 100, CoresPerNode: 24, MaxWalltime: 1e6 * time.Hour},
+	} {
+		cluster, err := hpc.NewCluster(spec, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		session.Register(saga.NewClusterAdapter(cluster))
+	}
+	mk := func(ci string, cores int) *PilotRTS {
+		r, err := New(Config{
+			Resource: core.ResourceDesc{Resource: ci, Cores: cores, Walltime: 999 * time.Hour},
+			Clock:    clock, Session: session,
+			Registry: workload.NewRegistry(), Model: FastModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	am, err := core.NewAppManager(core.Config{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.SetResource(core.ResourceDesc{Resource: "titan+comet", Cores: 1, Walltime: time.Hour})
+	var router *Router
+	am.SetRTSFactory(func(core.ResourceDesc) (core.RTS, error) {
+		var rerr error
+		router, rerr = NewRouter([]RouterMember{
+			{Name: "titan", RTS: mk("titan", 2048), Resource: "titan", Capacity: 2048},
+			{Name: "comet", RTS: mk("comet", 48), Resource: "comet", Capacity: 48},
+		})
+		return router, rerr
+	})
+
+	pipe := core.NewPipeline("hetero")
+	sim := core.NewStage("simulation")
+	for i := 0; i < 4; i++ {
+		task := core.NewTask("sim")
+		task.Executable = "sleep"
+		task.Duration = 30 * time.Second
+		task.CPUReqs = core.CPUReqs{Processes: 256}
+		task.Tags = map[string]string{"resource": "titan"}
+		sim.AddTask(task)
+	}
+	pipe.AddStage(sim)
+	analysis := core.NewStage("analysis")
+	for i := 0; i < 4; i++ {
+		task := core.NewTask("proc")
+		task.Executable = "sleep"
+		task.Duration = 10 * time.Second
+		task.Tags = map[string]string{"resource": "comet"}
+		analysis.AddTask(task)
+	}
+	pipe.AddStage(analysis)
+	am.AddPipelines(pipe)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := am.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pipe.State() != core.PipelineDone {
+		t.Fatalf("pipeline state = %s", pipe.State())
+	}
+	if router.RoutedTo("titan") != 4 || router.RoutedTo("comet") != 4 {
+		t.Fatalf("routing: titan=%d comet=%d",
+			router.RoutedTo("titan"), router.RoutedTo("comet"))
+	}
+}
+
+// newGPURouterHarness builds a router with a GPU-equipped "titan" member and
+// a GPU-less "comet" member.
+func newGPURouterHarness(t *testing.T) *Router {
+	t.Helper()
+	clock := vclock.NewScaled(time.Microsecond)
+	session := saga.NewSession()
+	t.Cleanup(session.Close)
+	for _, ci := range []string{"titan", "comet"} {
+		a, err := saga.NewCatalogAdapter(ci, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		session.Register(a)
+	}
+	mk := func(ci string, cores, gpus int) *PilotRTS {
+		r, err := New(Config{
+			Resource: core.ResourceDesc{Resource: ci, Cores: cores, GPUs: gpus, Walltime: 2 * time.Hour},
+			Clock:    clock,
+			Session:  session,
+			Registry: workload.NewRegistry(),
+			Model:    FastModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	router, err := NewRouter([]RouterMember{
+		{Name: "gpu", RTS: mk("titan", 64, 4), Resource: "titan", Capacity: 64, GPUs: 4},
+		{Name: "cpu", RTS: mk("comet", 64, 0), Resource: "comet", Capacity: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Stop() })
+	return router
+}
+
+func TestRouterGPUAwarePlacement(t *testing.T) {
+	router := newGPURouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Untagged GPU tasks must land on the GPU member even though the CPU
+	// member is equally loaded.
+	var descs []core.TaskDescription
+	for i := 0; i < 4; i++ {
+		descs = append(descs, core.TaskDescription{
+			UID: core.NewUID("task"), Executable: "sleep",
+			Duration: time.Second, Cores: 1, GPUs: 1,
+		})
+	}
+	if err := router.Submit(descs); err != nil {
+		t.Fatal(err)
+	}
+	timeout := time.After(30 * time.Second)
+	for n := 0; n < 4; n++ {
+		select {
+		case res := <-router.Completions():
+			if res.ExitCode != 0 {
+				t.Fatalf("exit = %d (%s)", res.ExitCode, res.Error)
+			}
+		case <-timeout:
+			t.Fatal("timed out waiting for GPU tasks")
+		}
+	}
+	if got := router.RoutedTo("gpu"); got != 4 {
+		t.Fatalf("gpu member got %d tasks, want 4", got)
+	}
+	if got := router.RoutedTo("cpu"); got != 0 {
+		t.Fatalf("cpu member got %d tasks, want 0", got)
+	}
+}
+
+func TestRouterRejectsUnplaceableGPUTask(t *testing.T) {
+	router := newGPURouterHarness(t)
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := router.Submit([]core.TaskDescription{{
+		UID: core.NewUID("task"), Executable: "sleep",
+		Duration: time.Second, Cores: 1, GPUs: 16,
+	}})
+	if err == nil {
+		t.Fatal("16-GPU task accepted by a 4-GPU fleet")
+	}
+}

@@ -1,0 +1,97 @@
+package rts
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// store is the task mailbox between the UnitManager and the Agent — the
+// role MongoDB plays in RADICAL-Pilot ("The UnitManager schedules each task
+// to an Agent via a queue on a MongoDB instance. Each Agent pulls its tasks
+// from the DB module"). It is a FIFO with blocking pull and optional
+// journal-backed durability.
+type store struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []core.TaskDescription
+	closed bool
+
+	jrn *journal.Journal // optional
+
+	pushed uint64
+	pulled uint64
+}
+
+func newStore(jrn *journal.Journal) *store {
+	s := &store{jrn: jrn}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+type storeRec struct {
+	UID string `json:"uid"`
+	Op  string `json:"op"` // "push" | "pull"
+}
+
+// Push appends task descriptions.
+func (s *store) Push(tasks []core.TaskDescription) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errStoreClosed
+	}
+	for _, t := range tasks {
+		if s.jrn != nil {
+			if _, err := s.jrn.Append("rts.store", storeRec{UID: t.UID, Op: "push"}); err != nil {
+				return err
+			}
+		}
+		s.queue = append(s.queue, t)
+		s.pushed++
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// Pull blocks until a task is available or the store closes (ok=false).
+func (s *store) Pull() (core.TaskDescription, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return core.TaskDescription{}, false
+	}
+	t := s.queue[0]
+	s.queue = s.queue[1:]
+	s.pulled++
+	if s.jrn != nil {
+		s.jrn.Append("rts.store", storeRec{UID: t.UID, Op: "pull"}) //nolint:errcheck
+	}
+	return t, true
+}
+
+// Depth returns the number of queued tasks.
+func (s *store) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Close releases blocked pullers; queued tasks are dropped (a dead RTS
+// loses its in-flight tasks, which EnTK resubmits).
+func (s *store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+type storeClosedError struct{}
+
+func (storeClosedError) Error() string { return "rts: store closed" }
+
+var errStoreClosed = storeClosedError{}

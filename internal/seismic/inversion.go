@@ -1,0 +1,258 @@
+package seismic
+
+import (
+	"errors"
+	"math"
+)
+
+// Misfit computes the L2 waveform misfit between observed and synthetic
+// seismograms: 1/2 Σ (syn - obs)².
+func Misfit(obs, syn []Seismogram) (float64, error) {
+	if len(obs) != len(syn) {
+		return 0, errors.New("seismic: receiver count mismatch")
+	}
+	var m float64
+	for r := range obs {
+		if len(obs[r]) != len(syn[r]) {
+			return 0, errors.New("seismic: trace length mismatch")
+		}
+		for t := range obs[r] {
+			d := syn[r][t] - obs[r][t]
+			m += 0.5 * d * d
+		}
+	}
+	return m, nil
+}
+
+// AdjointSources builds the adjoint sources for the L2 misfit: the
+// time-reversed residuals syn-obs, injected at the receiver positions
+// (Fig 4's "Adjoint Source Creation" task).
+func AdjointSources(obs, syn []Seismogram) ([]Seismogram, error) {
+	if len(obs) != len(syn) {
+		return nil, errors.New("seismic: receiver count mismatch")
+	}
+	out := make([]Seismogram, len(obs))
+	for r := range obs {
+		if len(obs[r]) != len(syn[r]) {
+			return nil, errors.New("seismic: trace length mismatch")
+		}
+		nt := len(obs[r])
+		rev := make(Seismogram, nt)
+		for t := 0; t < nt; t++ {
+			rev[t] = syn[r][nt-1-t] - obs[r][nt-1-t]
+		}
+		out[r] = rev
+	}
+	return out, nil
+}
+
+// Bandpass applies a simple moving-average band-limiting filter to each
+// trace (the "Data Processing" stage of Fig 4: real processing uses
+// bandpass filters; a boxcar low-pass is the minimal stand-in that changes
+// the data the way the workflow expects).
+func Bandpass(traces []Seismogram, halfWidth int) []Seismogram {
+	if halfWidth < 1 {
+		out := make([]Seismogram, len(traces))
+		for i, tr := range traces {
+			out[i] = append(Seismogram(nil), tr...)
+		}
+		return out
+	}
+	out := make([]Seismogram, len(traces))
+	for i, tr := range traces {
+		nt := len(tr)
+		f := make(Seismogram, nt)
+		for t := 0; t < nt; t++ {
+			var sum float64
+			var cnt int
+			for k := -halfWidth; k <= halfWidth; k++ {
+				if t+k >= 0 && t+k < nt {
+					sum += tr[t+k]
+					cnt++
+				}
+			}
+			f[t] = sum / float64(cnt)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// Adjoint back-propagates the adjoint sources through the model and
+// correlates with the forward snapshots to produce the sensitivity kernel
+// (Fig 4's "Adjoint Simulation" + "Kernel Summation" imaging condition).
+func Adjoint(m *Model, recs []Receiver, adjSrcs []Seismogram, fwd *ForwardResult, cfg SimConfig) ([]float64, error) {
+	if len(recs) != len(adjSrcs) {
+		return nil, errors.New("seismic: adjoint sources do not match receivers")
+	}
+	if cfg.SnapshotEvery <= 0 || len(fwd.Snapshots) == 0 {
+		return nil, errors.New("seismic: forward run has no snapshots for imaging")
+	}
+	inject := func(u []float64, it int) {
+		for r, rec := range recs {
+			if it < len(adjSrcs[r]) {
+				// adjSrcs are already time-reversed; inject in loop order.
+				u[rec.IZ*m.NX+rec.IX] += adjSrcs[r][len(adjSrcs[r])-1-it] * cfg.DT * cfg.DT
+			}
+		}
+	}
+	adjCfg := cfg
+	adjCfg.SnapshotEvery = cfg.SnapshotEvery
+	adj, err := propagate(m, adjCfg, inject, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	// Imaging condition: zero-lag cross-correlation of forward and
+	// time-reversed adjoint snapshots.
+	n := m.NX * m.NZ
+	kernel := make([]float64, n)
+	ks := len(fwd.Snapshots)
+	if len(adj.Snapshots) < ks {
+		ks = len(adj.Snapshots)
+	}
+	for k := 0; k < ks; k++ {
+		f := fwd.Snapshots[k]
+		a := adj.Snapshots[ks-1-k] // adjoint runs in reversed time
+		for i := 0; i < n; i++ {
+			kernel[i] += f[i] * a[i]
+		}
+	}
+	return kernel, nil
+}
+
+// SumKernels accumulates per-event kernels (Fig 4's "Kernel Summation").
+func SumKernels(kernels [][]float64) ([]float64, error) {
+	if len(kernels) == 0 {
+		return nil, errors.New("seismic: no kernels to sum")
+	}
+	n := len(kernels[0])
+	out := make([]float64, n)
+	for _, k := range kernels {
+		if len(k) != n {
+			return nil, errors.New("seismic: kernel size mismatch")
+		}
+		for i := range k {
+			out[i] += k[i]
+		}
+	}
+	return out, nil
+}
+
+// UpdateModel applies one steepest-descent step along the (sign-corrected)
+// kernel, scaled so the largest perturbation is stepFrac of the current
+// velocity (Fig 4's "Optimization Routine" + "Model Update").
+func UpdateModel(m *Model, kernel []float64, stepFrac float64) (*Model, error) {
+	if len(kernel) != len(m.V) {
+		return nil, errors.New("seismic: kernel does not match model")
+	}
+	kmax := 0.0
+	for _, k := range kernel {
+		if a := math.Abs(k); a > kmax {
+			kmax = a
+		}
+	}
+	out := m.Clone()
+	if kmax == 0 {
+		return out, nil
+	}
+	var vmean float64
+	for _, v := range m.V {
+		vmean += v
+	}
+	vmean /= float64(len(m.V))
+	scale := stepFrac * vmean / kmax
+	for i := range out.V {
+		// Descent direction: the L2 kernel points up-gradient of misfit.
+		out.V[i] -= scale * kernel[i]
+		if out.V[i] < 0.2*vmean {
+			out.V[i] = 0.2 * vmean
+		}
+	}
+	return out, nil
+}
+
+// totalMisfit evaluates the (bandpassed) data misfit of a candidate model
+// against the true model over all events.
+func totalMisfit(candidate, trueModel *Model, events []Source, recs []Receiver, cfg SimConfig) (float64, error) {
+	plain := SimConfig{NT: cfg.NT, DT: cfg.DT, DampWidth: cfg.DampWidth}
+	var total float64
+	for _, ev := range events {
+		obsRun, err := Forward(trueModel, ev, recs, plain)
+		if err != nil {
+			return 0, err
+		}
+		synRun, err := Forward(candidate, ev, recs, plain)
+		if err != nil {
+			return 0, err
+		}
+		mf, err := Misfit(Bandpass(obsRun.Seismograms, 2), Bandpass(synRun.Seismograms, 2))
+		if err != nil {
+			return 0, err
+		}
+		total += mf
+	}
+	return total, nil
+}
+
+// InvertStep performs one full tomography iteration for a set of events:
+// forward simulations, data processing, adjoint sources, adjoint
+// simulations, kernel summation, and a line-searched model update (the
+// Fig 4 "Optimization Routine"). It returns the updated model and the total
+// misfit before the update. The line search guarantees monotone misfit
+// descent: if no candidate step improves, the model is returned unchanged.
+func InvertStep(current *Model, trueModel *Model, events []Source, recs []Receiver, cfg SimConfig, stepFrac float64) (*Model, float64, error) {
+	var kernels [][]float64
+	var misfitBefore float64
+	for _, ev := range events {
+		obsRun, err := Forward(trueModel, ev, recs, SimConfig{
+			NT: cfg.NT, DT: cfg.DT, DampWidth: cfg.DampWidth,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		synRun, err := Forward(current, ev, recs, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		obs := Bandpass(obsRun.Seismograms, 2)
+		syn := Bandpass(synRun.Seismograms, 2)
+		mf, err := Misfit(obs, syn)
+		if err != nil {
+			return nil, 0, err
+		}
+		misfitBefore += mf
+		adjSrc, err := AdjointSources(obs, syn)
+		if err != nil {
+			return nil, 0, err
+		}
+		kernel, err := Adjoint(current, recs, adjSrc, synRun, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		kernels = append(kernels, kernel)
+	}
+	summed, err := SumKernels(kernels)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Line search over direction and step length: the raw zero-lag
+	// correlation kernel carries an ambiguous overall sign/scale for the
+	// velocity parameterization, so the optimization probes both.
+	best := current
+	bestMisfit := misfitBefore
+	for _, frac := range []float64{stepFrac, -stepFrac, stepFrac / 2, -stepFrac / 2} {
+		cand, err := UpdateModel(current, summed, frac)
+		if err != nil {
+			return nil, 0, err
+		}
+		mf, err := totalMisfit(cand, trueModel, events, recs, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		if mf < bestMisfit {
+			best, bestMisfit = cand, mf
+			break
+		}
+	}
+	return best, misfitBefore, nil
+}

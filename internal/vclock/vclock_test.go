@@ -1,0 +1,174 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScaledNowAdvances(t *testing.T) {
+	c := NewScaled(time.Microsecond) // 1 virtual second = 1 µs wall
+	t0 := c.Now()
+	time.Sleep(2 * time.Millisecond) // ≈2000 virtual seconds
+	t1 := c.Now()
+	if !t1.After(t0) {
+		t.Fatalf("clock did not advance: %v -> %v", t0, t1)
+	}
+	if got := t1.Sub(t0); got < 500*time.Second {
+		t.Fatalf("expected >=500 virtual seconds elapsed, got %v", got)
+	}
+}
+
+func TestScaledSleepScales(t *testing.T) {
+	c := NewScaled(10 * time.Microsecond)
+	wall0 := time.Now()
+	c.Sleep(1000 * time.Second) // should cost ~10 ms wall
+	wall := time.Since(wall0)
+	if wall < 5*time.Millisecond {
+		t.Fatalf("sleep returned too fast: %v", wall)
+	}
+	if wall > 500*time.Millisecond {
+		t.Fatalf("sleep took too long: %v", wall)
+	}
+}
+
+func TestScaledSleepNonPositive(t *testing.T) {
+	c := NewScaled(time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(0)
+		c.Sleep(-time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive sleep blocked")
+	}
+}
+
+func TestScaledAfter(t *testing.T) {
+	c := NewScaled(time.Microsecond)
+	select {
+	case <-c.After(100 * time.Second):
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+	// Zero duration fires immediately.
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestNewScaledPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero scale")
+		}
+	}()
+	NewScaled(0)
+}
+
+func TestManualSleepBlocksUntilAdvance(t *testing.T) {
+	c := NewManual()
+	released := make(chan struct{})
+	go func() {
+		c.Sleep(10 * time.Second)
+		close(released)
+	}()
+	// Give the sleeper a moment to register.
+	for i := 0; i < 100 && c.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("expected 1 pending sleeper, got %d", c.Pending())
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-released:
+		t.Fatal("sleeper released too early")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never released")
+	}
+}
+
+func TestManualAdvanceReleasesInDeadlineOrder(t *testing.T) {
+	c := NewManual()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			c.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	for i := 0; i < 1000 && c.Pending() < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Hour)
+	wg.Wait()
+	if len(order) != 3 {
+		t.Fatalf("expected 3 releases, got %d", len(order))
+	}
+}
+
+func TestManualNow(t *testing.T) {
+	c := NewManual()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("fresh manual clock not at epoch: %v", c.Now())
+	}
+	c.Advance(90 * time.Minute)
+	if got := Elapsed(c); got != 90*time.Minute {
+		t.Fatalf("elapsed = %v, want 90m", got)
+	}
+}
+
+func TestManualAfterZero(t *testing.T) {
+	c := NewManual()
+	select {
+	case ts := <-c.After(0):
+		if !ts.Equal(Epoch) {
+			t.Fatalf("After(0) delivered %v, want epoch", ts)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+// Property: advancing a manual clock by a sequence of positive durations
+// always yields Now == Epoch + sum(durations).
+func TestManualAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewManual()
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Millisecond
+			total += d
+			c.Advance(d)
+		}
+		return c.Now().Equal(Epoch.Add(total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+}
