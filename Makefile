@@ -1,0 +1,24 @@
+# Local and CI entry points — .github/workflows/ci.yml invokes exactly
+# these targets so a green local run means a green CI run.
+
+GO ?= go
+
+.PHONY: build test bench lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One pass over every benchmark so they cannot bit-rot; real measurements
+# use `go test -bench=<pattern> -benchmem -benchtime=...` directly.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...

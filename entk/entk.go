@@ -133,6 +133,14 @@ type AppConfig struct {
 	TimeScale time.Duration
 	// TaskRetries is the automatic resubmission budget per failed task.
 	TaskRetries int
+	// BatchSize tunes the broker's batched hot path through the workflow
+	// layers: it bounds how many tasks ride in one pending-queue message
+	// when Enqueue batch-publishes a stage, and how many messages the Emgr
+	// pops per broker round-trip. Default 1024. Lower values trade broker
+	// amortization for finer-grained submission (e.g. to interleave
+	// pipelines on a small pilot); 1 effectively restores the per-message
+	// path.
+	BatchSize int
 	// RTSRestarts bounds RTS restarts after runtime-system failures.
 	RTSRestarts int
 	// JournalPath enables transactional state journaling and recovery.
@@ -289,6 +297,7 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		StateStore:  cfg.StateStore,
 		TaskRetries: cfg.TaskRetries,
 		RTSRestarts: cfg.RTSRestarts,
+		EmgrBatch:   cfg.BatchSize,
 	})
 	if err != nil {
 		closeAll()

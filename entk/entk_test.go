@@ -75,6 +75,41 @@ func TestEndToEndRun(t *testing.T) {
 	}
 }
 
+// TestBatchSizeKnob runs the same application at several batch sizes,
+// including 1 (the per-message path) — the knob must change only broker
+// traffic shape, never the outcome.
+func TestBatchSizeKnob(t *testing.T) {
+	for _, batch := range []int{1, 3, 64} {
+		am, err := NewAppManager(AppConfig{
+			Resource:  Resource{Name: "supermic", Cores: 8, Walltime: time.Hour},
+			TimeScale: 50 * time.Microsecond,
+			HostName:  "null",
+			BatchSize: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := smallApp(10, 5*time.Second)
+		if err := am.AddPipelines(pipe); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := am.Run(ctx); err != nil {
+			cancel()
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		cancel()
+		if pipe.State() != PipelineDone {
+			t.Fatalf("batch=%d: pipeline state = %s", batch, pipe.State())
+		}
+		for _, task := range pipe.Stages()[0].Tasks() {
+			if task.State() != TaskDone {
+				t.Fatalf("batch=%d: task %s state = %s", batch, task.UID, task.State())
+			}
+		}
+	}
+}
+
 func TestCustomKernelRegistration(t *testing.T) {
 	am, err := NewAppManager(AppConfig{
 		Resource:  Resource{Name: "comet", Cores: 4, Walltime: time.Hour},

@@ -9,6 +9,30 @@
 // named queues, per-consumer prefetch, ack/nack with requeue, optional
 // journal-backed durability, and per-queue statistics used by the Fig 6
 // prototype benchmark.
+//
+// # Batched fast path
+//
+// The per-message API (Publish, Get, Consume, Delivery.Ack/Nack) pays one
+// queue-lock round-trip — and for durable queues one journal append — per
+// message. The batch API amortizes both over N messages: PublishBatch
+// appends N bodies under one lock acquisition and one journal record;
+// ConsumeBatch registers a pull-mode consumer whose ReceiveBatch pops up to
+// N ready messages per lock round-trip; AckBatch and NackBatch settle N
+// deliveries per queue with one lock acquisition and (for acks on durable
+// queues) one journal record. This is the substrate for EnTK's bulk
+// messages, which keep queue traffic O(stages) rather than O(tasks)
+// (paper §II-C, Fig 6).
+//
+// Ordering guarantees are identical on both paths and they interleave
+// freely on one queue: a batch occupies N consecutive FIFO slots in
+// publish-call order, delivery drains the head in FIFO order regardless of
+// how messages arrived, and NackBatch with requeue returns the whole batch
+// to the front of the queue preserving the batch's internal order (the
+// batch analogue of single Nack's requeue-at-front). Messages redelivered
+// after a requeue carry Redelivered=true exactly as on the single path.
+// Options.PerOpDelay is charged once per batch operation instead of once
+// per message — batching amortizes the modelled broker traversal the same
+// way it amortizes the real lock.
 package broker
 
 import (
@@ -26,6 +50,8 @@ var (
 	ErrNoQueue      = errors.New("broker: no such queue")
 	ErrQueueExists  = errors.New("broker: queue already declared")
 	ErrAlreadyAcked = errors.New("broker: message already acknowledged")
+
+	errPushConsumer = errors.New("broker: ReceiveBatch requires a pull-mode consumer (ConsumeBatch)")
 )
 
 // Message is a unit of data in transit through the broker.
@@ -47,7 +73,6 @@ type Delivery struct {
 	q    *queue
 	c    *Consumer
 	once sync.Once
-	done bool
 }
 
 // Ack acknowledges the delivery, removing the message permanently.
@@ -81,6 +106,13 @@ type QueueStats struct {
 	Nacked    uint64
 	Bytes     int64 // bytes currently held (ready + unacked)
 	PeakBytes int64
+
+	// Batch-path counters: one increment per batch operation (not per
+	// message), so Published/PublishBatches gives the realized batch size.
+	PublishBatches uint64 // PublishBatch calls
+	DeliverBatches uint64 // ReceiveBatch calls that delivered messages
+	AckBatches     uint64 // AckBatch settlements applied to this queue
+	NackBatches    uint64 // NackBatch settlements applied to this queue
 }
 
 // QueueOptions configure a queue at declaration time.
@@ -95,8 +127,9 @@ type Options struct {
 	// Journal, if non-nil, backs durable queues.
 	Journal *journal.Journal
 	// PerOpDelay, if non-nil, is invoked once per publish and once per
-	// delivery. The workflow layer uses it to charge the host-performance
-	// cost of traversing the messaging infrastructure (paper §IV-A).
+	// delivery — and once per *batch* operation on the batched fast path.
+	// The workflow layer uses it to charge the host-performance cost of
+	// traversing the messaging infrastructure (paper §IV-A).
 	PerOpDelay func()
 }
 
@@ -182,6 +215,29 @@ func (b *Broker) Publish(queueName string, body []byte) error {
 	return q.publish(Message{ID: b.nextID.Add(1), Body: body})
 }
 
+// PublishBatch appends bodies, in order, to the named queue under a single
+// queue-lock acquisition and (for durable queues) a single journal record —
+// the producer half of the batched fast path. Publishing an empty batch is
+// a no-op. The batch occupies consecutive FIFO slots: interleaved Publish
+// and PublishBatch calls drain in publish-call order.
+func (b *Broker) PublishBatch(queueName string, bodies [][]byte) error {
+	if len(bodies) == 0 {
+		return nil
+	}
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return err
+	}
+	if b.opts.PerOpDelay != nil {
+		b.opts.PerOpDelay()
+	}
+	msgs := make([]Message, len(bodies))
+	for i, body := range bodies {
+		msgs[i] = Message{ID: b.nextID.Add(1), Body: body}
+	}
+	return q.publishBatch(msgs)
+}
+
 // Get synchronously pops one ready message, returning ok=false when the
 // queue is empty. The returned delivery must still be acked or nacked.
 func (b *Broker) Get(queueName string) (*Delivery, bool, error) {
@@ -204,6 +260,81 @@ func (b *Broker) Consume(queueName string, prefetch int) (*Consumer, error) {
 		return nil, err
 	}
 	return q.consume(prefetch), nil
+}
+
+// ConsumeBatch registers a pull-mode consumer on the named queue: instead
+// of a delivery channel, the caller pops messages with ReceiveBatch, which
+// amortizes one queue-lock round-trip over a whole batch. prefetch bounds
+// the unacked deliveries outstanding for this consumer (0 means 1) and
+// therefore also caps the realized batch size.
+func (b *Broker) ConsumeBatch(queueName string, prefetch int) (*Consumer, error) {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return nil, err
+	}
+	return q.consumeBatch(prefetch), nil
+}
+
+// AckBatch acknowledges a set of deliveries, removing their messages
+// permanently. Deliveries are grouped by queue and each queue settles under
+// one lock acquisition and (when durable) one journal record. Deliveries
+// that were already settled are skipped, so AckBatch composes with
+// individual Ack/Nack calls. A nil or empty slice is a no-op.
+func AckBatch(ds []*Delivery) error {
+	return settleBatch(ds, false, false)
+}
+
+// NackBatch rejects a set of deliveries. With requeue, each queue's
+// messages return to the front of that queue in batch order, flagged
+// Redelivered — the batch analogue of Nack's requeue-at-front; without
+// requeue they are dropped. Already-settled deliveries are skipped.
+func NackBatch(ds []*Delivery, requeue bool) error {
+	return settleBatch(ds, true, requeue)
+}
+
+// settleBatch claims each unsettled delivery and settles per queue.
+func settleBatch(ds []*Delivery, nack, requeue bool) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	// Claim via each delivery's once so later individual Ack/Nack calls on
+	// the same delivery return ErrAlreadyAcked, exactly as on the single
+	// path. Preserve order within each queue group: requeue prepends the
+	// group as a unit. The common single-queue batch settles without any
+	// grouping allocation beyond the claimed slice.
+	claimed := make([]*Delivery, 0, len(ds))
+	var q0 *queue
+	mixed := false
+	for _, d := range ds {
+		ok := false
+		d.once.Do(func() { ok = true })
+		if !ok {
+			continue
+		}
+		if q0 == nil {
+			q0 = d.q
+		} else if d.q != q0 {
+			mixed = true
+		}
+		claimed = append(claimed, d)
+	}
+	if len(claimed) == 0 {
+		return nil
+	}
+	if !mixed {
+		return q0.settleBatch(claimed, nack, requeue)
+	}
+	byQueue := make(map[*queue][]*Delivery)
+	for _, d := range claimed {
+		byQueue[d.q] = append(byQueue[d.q], d)
+	}
+	var firstErr error
+	for q, group := range byQueue {
+		if err := q.settleBatch(group, nack, requeue); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Purge drops all ready messages from the queue, returning how many were
@@ -246,6 +377,10 @@ func (b *Broker) TotalStats() QueueStats {
 		tot.Nacked += s.Nacked
 		tot.Bytes += s.Bytes
 		tot.PeakBytes += s.PeakBytes
+		tot.PublishBatches += s.PublishBatches
+		tot.DeliverBatches += s.DeliverBatches
+		tot.AckBatches += s.AckBatches
+		tot.NackBatches += s.NackBatches
 	}
 	return tot
 }
@@ -269,10 +404,13 @@ func (b *Broker) Close() {
 	}
 }
 
-// Journal record types used for durable queues.
+// Journal record types used for durable queues. Batched operations write
+// one batch record instead of N single records; Recover understands both.
 const (
-	recPublish = "broker.publish"
-	recAck     = "broker.ack"
+	recPublish      = "broker.publish"
+	recAck          = "broker.ack"
+	recPublishBatch = "broker.publish.batch"
+	recAckBatch     = "broker.ack.batch"
 )
 
 type publishRec struct {
@@ -284,6 +422,21 @@ type publishRec struct {
 type ackRec struct {
 	Queue string `json:"q"`
 	ID    uint64 `json:"id"`
+}
+
+type batchMsgRec struct {
+	ID   uint64 `json:"id"`
+	Body []byte `json:"body"`
+}
+
+type publishBatchRec struct {
+	Queue string        `json:"q"`
+	Msgs  []batchMsgRec `json:"msgs"`
+}
+
+type ackBatchRec struct {
+	Queue string   `json:"q"`
+	IDs   []uint64 `json:"ids"`
 }
 
 // Recover rebuilds durable queue contents from the journal at path. Queues
@@ -304,6 +457,18 @@ func (b *Broker) Recover(path string) error {
 			}
 			pending[p.Queue][p.ID] = p.Body
 			order[p.Queue] = append(order[p.Queue], p.ID)
+		case recPublishBatch:
+			var p publishBatchRec
+			if err := journal.Decode(rec, &p); err != nil {
+				return err
+			}
+			if pending[p.Queue] == nil {
+				pending[p.Queue] = map[uint64][]byte{}
+			}
+			for _, m := range p.Msgs {
+				pending[p.Queue][m.ID] = m.Body
+				order[p.Queue] = append(order[p.Queue], m.ID)
+			}
 		case recAck:
 			var a ackRec
 			if err := journal.Decode(rec, &a); err != nil {
@@ -311,6 +476,16 @@ func (b *Broker) Recover(path string) error {
 			}
 			if m := pending[a.Queue]; m != nil {
 				delete(m, a.ID)
+			}
+		case recAckBatch:
+			var a ackBatchRec
+			if err := journal.Decode(rec, &a); err != nil {
+				return err
+			}
+			if m := pending[a.Queue]; m != nil {
+				for _, id := range a.IDs {
+					delete(m, id)
+				}
 			}
 		}
 		return nil

@@ -1,9 +1,89 @@
 package broker
 
 import (
-	"container/list"
 	"sync"
 )
+
+// msgDeque is a slice-backed ring buffer of ready messages. Compared to a
+// linked list it allocates nothing per message on the steady state, and a
+// whole batch appends or pops with one capacity check — the storage half of
+// the batched fast path's amortization.
+type msgDeque struct {
+	buf  []Message
+	head int
+	n    int
+}
+
+func (d *msgDeque) Len() int { return d.n }
+
+func (d *msgDeque) grow(min int) {
+	newCap := 2 * len(d.buf)
+	if newCap < d.n+min {
+		newCap = d.n + min
+	}
+	if newCap < 16 {
+		newCap = 16
+	}
+	buf := make([]Message, newCap)
+	if d.n > 0 {
+		end := d.head + d.n
+		if end <= len(d.buf) {
+			copy(buf, d.buf[d.head:end])
+		} else {
+			k := copy(buf, d.buf[d.head:])
+			copy(buf[k:], d.buf[:end-len(d.buf)])
+		}
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+func (d *msgDeque) PushBack(m Message) {
+	if d.n == len(d.buf) {
+		d.grow(1)
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = m
+	d.n++
+}
+
+// PushBackAll appends msgs in order with at most one grow.
+func (d *msgDeque) PushBackAll(msgs []Message) {
+	if d.n+len(msgs) > len(d.buf) {
+		d.grow(len(msgs))
+	}
+	for _, m := range msgs {
+		d.buf[(d.head+d.n)%len(d.buf)] = m
+		d.n++
+	}
+}
+
+func (d *msgDeque) PushFront(m Message) {
+	if d.n == len(d.buf) {
+		d.grow(1)
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = m
+	d.n++
+}
+
+func (d *msgDeque) PopFront() Message {
+	m := d.buf[d.head]
+	d.buf[d.head] = Message{} // drop the body reference for the GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return m
+}
+
+// At returns the i-th ready message from the front without removing it.
+func (d *msgDeque) At(i int) Message { return d.buf[(d.head+i)%len(d.buf)] }
+
+// Reset empties the deque, releasing body references.
+func (d *msgDeque) Reset() {
+	for i := 0; i < d.n; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = Message{}
+	}
+	d.head, d.n = 0, 0
+}
 
 // queue is a single named message queue. Delivery order is FIFO; nacked
 // messages requeue at the front, matching RabbitMQ's basic.reject semantics.
@@ -14,7 +94,7 @@ type queue struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	ready     *list.List // of Message
+	ready     msgDeque
 	unacked   map[uint64]*Delivery
 	consumers map[*Consumer]struct{}
 	closed    bool
@@ -27,6 +107,13 @@ type queue struct {
 	bytes     int64
 	peakDepth int
 	peakBytes int64
+
+	// batch-path counters: one increment per batch operation, however many
+	// messages the batch carried.
+	publishBatches uint64
+	deliverBatches uint64
+	ackBatches     uint64
+	nackBatches    uint64
 }
 
 func newQueue(b *Broker, name string, opts QueueOptions) *queue {
@@ -34,7 +121,6 @@ func newQueue(b *Broker, name string, opts QueueOptions) *queue {
 		b:         b,
 		name:      name,
 		opts:      opts,
-		ready:     list.New(),
 		unacked:   make(map[uint64]*Delivery),
 		consumers: make(map[*Consumer]struct{}),
 	}
@@ -58,6 +144,28 @@ func (q *queue) journalAck(id uint64) error {
 	return err
 }
 
+// journalPublishBatch appends one record covering the whole batch — the
+// journal half of the batched fast path's amortization.
+func (q *queue) journalPublishBatch(msgs []Message) error {
+	if !q.opts.Durable || q.b.opts.Journal == nil {
+		return nil
+	}
+	rec := publishBatchRec{Queue: q.name, Msgs: make([]batchMsgRec, len(msgs))}
+	for i, m := range msgs {
+		rec.Msgs[i] = batchMsgRec{ID: m.ID, Body: m.Body}
+	}
+	_, err := q.b.opts.Journal.Append(recPublishBatch, rec)
+	return err
+}
+
+func (q *queue) journalAckBatch(ids []uint64) error {
+	if !q.opts.Durable || q.b.opts.Journal == nil {
+		return nil
+	}
+	_, err := q.b.opts.Journal.Append(recAckBatch, ackBatchRec{Queue: q.name, IDs: ids})
+	return err
+}
+
 func (q *queue) publish(m Message) error {
 	if err := q.journalPublish(m); err != nil {
 		return err
@@ -72,6 +180,28 @@ func (q *queue) publish(m Message) error {
 	q.bytes += int64(len(m.Body))
 	q.trackPeaksLocked()
 	q.cond.Signal()
+	return nil
+}
+
+// publishBatch appends msgs in order under a single lock acquisition and a
+// single journal append.
+func (q *queue) publishBatch(msgs []Message) error {
+	if err := q.journalPublishBatch(msgs); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.ready.PushBackAll(msgs)
+	for _, m := range msgs {
+		q.bytes += int64(len(m.Body))
+	}
+	q.published += uint64(len(msgs))
+	q.publishBatches++
+	q.trackPeaksLocked()
+	q.cond.Broadcast()
 	return nil
 }
 
@@ -111,9 +241,7 @@ func (q *queue) get() (*Delivery, bool) {
 
 // popLocked removes the head message and registers it as unacked.
 func (q *queue) popLocked(c *Consumer) *Delivery {
-	front := q.ready.Front()
-	m := front.Value.(Message)
-	q.ready.Remove(front)
+	m := q.ready.PopFront()
 	d := &Delivery{Message: m, q: q, c: c}
 	q.unacked[m.ID] = d
 	q.delivered++
@@ -133,7 +261,6 @@ func (q *queue) settle(d *Delivery, nack, requeue bool) error {
 		return ErrAlreadyAcked
 	}
 	delete(q.unacked, d.ID)
-	d.done = true
 	switch {
 	case !nack:
 		q.acked++
@@ -157,14 +284,95 @@ func (q *queue) settle(d *Delivery, nack, requeue bool) error {
 	return nil
 }
 
+// settleBatch completes a set of claimed deliveries from this queue under
+// one lock acquisition and (for acks) one journal append. Nack-with-requeue
+// returns the batch to the front of the queue preserving its internal order,
+// so a requeued batch is redelivered exactly as it was first delivered.
+func (q *queue) settleBatch(ds []*Delivery, nack, requeue bool) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	if !nack {
+		ids := make([]uint64, len(ds))
+		for i, d := range ds {
+			ids[i] = d.ID
+		}
+		if err := q.journalAckBatch(ids); err != nil {
+			return err
+		}
+	}
+	// Consumer releases are counted without a map in the overwhelmingly
+	// common case of one consumer per batch; a map is built only when the
+	// batch actually spans consumers.
+	var relC *Consumer
+	relN := 0
+	var relExtra map[*Consumer]int
+	q.mu.Lock()
+	settled := 0
+	for i := len(ds) - 1; i >= 0; i-- {
+		d := ds[i]
+		if _, ok := q.unacked[d.ID]; !ok {
+			continue // raced with consumer cancellation
+		}
+		delete(q.unacked, d.ID)
+		settled++
+		switch {
+		case !nack:
+			q.acked++
+			q.bytes -= int64(len(d.Body))
+		case requeue:
+			q.nacked++
+			m := d.Message
+			m.Redelivered = true
+			// Reverse iteration + PushFront keeps the batch's order intact
+			// at the head of the queue.
+			q.ready.PushFront(m)
+		default:
+			q.nacked++
+			q.bytes -= int64(len(d.Body))
+		}
+		switch {
+		case d.c == nil:
+		case relC == nil || relC == d.c:
+			relC = d.c
+			relN++
+		default:
+			if relExtra == nil {
+				relExtra = make(map[*Consumer]int)
+			}
+			relExtra[d.c]++
+		}
+	}
+	if settled > 0 {
+		switch {
+		case !nack:
+			q.ackBatches++
+		default:
+			q.nackBatches++
+			if requeue {
+				q.trackPeaksLocked()
+				q.cond.Broadcast()
+			}
+		}
+	}
+	q.mu.Unlock()
+	if relC != nil {
+		relC.releaseN(relN)
+	}
+	for c, n := range relExtra {
+		c.releaseN(n)
+	}
+	return nil
+}
+
 func (q *queue) purge() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := q.ready.Len()
-	for e := q.ready.Front(); e != nil; e = e.Next() {
-		q.bytes -= int64(len(e.Value.(Message).Body))
+	for i := 0; i < n; i++ {
+		q.bytes -= int64(len(q.ready.At(i).Body))
 	}
-	q.ready.Init()
+	q.ready.Reset()
 	return n
 }
 
@@ -172,16 +380,20 @@ func (q *queue) stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return QueueStats{
-		Name:      q.name,
-		Depth:     q.ready.Len(),
-		Unacked:   len(q.unacked),
-		PeakDepth: q.peakDepth,
-		Published: q.published,
-		Delivered: q.delivered,
-		Acked:     q.acked,
-		Nacked:    q.nacked,
-		Bytes:     q.bytes,
-		PeakBytes: q.peakBytes,
+		Name:           q.name,
+		Depth:          q.ready.Len(),
+		Unacked:        len(q.unacked),
+		PeakDepth:      q.peakDepth,
+		Published:      q.published,
+		Delivered:      q.delivered,
+		Acked:          q.acked,
+		Nacked:         q.nacked,
+		Bytes:          q.bytes,
+		PeakBytes:      q.peakBytes,
+		PublishBatches: q.publishBatches,
+		DeliverBatches: q.deliverBatches,
+		AckBatches:     q.ackBatches,
+		NackBatches:    q.nackBatches,
 	}
 }
 
@@ -203,11 +415,14 @@ func (q *queue) close() {
 	}
 }
 
-// Consumer receives deliveries from one queue on its Deliveries channel.
+// Consumer receives deliveries from one queue. Push-mode consumers
+// (Broker.Consume) receive on the Deliveries channel; pull-mode consumers
+// (Broker.ConsumeBatch) call ReceiveBatch instead and have no channel.
 type Consumer struct {
 	q        *queue
 	prefetch int
 	ch       chan *Delivery
+	pull     bool // pull mode: no loop goroutine, ReceiveBatch pops directly
 
 	mu       sync.Mutex
 	inflight int
@@ -234,9 +449,81 @@ func (q *queue) consume(prefetch int) *Consumer {
 	return c
 }
 
-// Deliveries is the channel on which the consumer receives messages. It is
-// closed when the consumer is cancelled or the queue/broker closes.
+// consumeBatch registers a pull-mode consumer: no delivery goroutine or
+// channel; the caller pops messages with ReceiveBatch.
+func (q *queue) consumeBatch(prefetch int) *Consumer {
+	if prefetch <= 0 {
+		prefetch = 1
+	}
+	c := &Consumer{
+		q:        q,
+		prefetch: prefetch,
+		pull:     true,
+		stopCh:   make(chan struct{}),
+	}
+	q.mu.Lock()
+	q.consumers[c] = struct{}{}
+	q.mu.Unlock()
+	return c
+}
+
+// Deliveries is the channel on which a push-mode consumer receives messages.
+// It is closed when the consumer is cancelled or the queue/broker closes.
+// Pull-mode consumers (Broker.ConsumeBatch) have no channel; Deliveries
+// returns nil for them.
 func (c *Consumer) Deliveries() <-chan *Delivery { return c.ch }
+
+// ReceiveBatch blocks until at least one message is ready, then pops up to
+// max messages in a single queue-lock round-trip — the consumer half of the
+// batched fast path. The batch size is additionally bounded by the
+// consumer's free prefetch window. It returns ErrClosed once the consumer
+// is cancelled or the queue/broker closes; every returned delivery must
+// still be settled (individually or via AckBatch/NackBatch).
+//
+// ReceiveBatch is only valid on pull-mode consumers from Broker.ConsumeBatch.
+func (c *Consumer) ReceiveBatch(max int) ([]*Delivery, error) {
+	if !c.pull {
+		return nil, errPushConsumer
+	}
+	if max <= 0 {
+		max = 1
+	}
+	q := c.q
+	q.mu.Lock()
+	for !q.closed && !c.isStopped() && (q.ready.Len() == 0 || c.freeCapacityLocked() <= 0) {
+		q.cond.Wait()
+	}
+	if q.closed || c.isStopped() {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n := max
+	if d := q.ready.Len(); d < n {
+		n = d
+	}
+	if free := c.freeCapacityLocked(); free < n {
+		n = free
+	}
+	// One backing allocation for the whole batch of deliveries.
+	block := make([]Delivery, n)
+	batch := make([]*Delivery, n)
+	for i := 0; i < n; i++ {
+		m := q.ready.PopFront()
+		block[i] = Delivery{Message: m, q: q, c: c}
+		q.unacked[m.ID] = &block[i]
+		batch[i] = &block[i]
+	}
+	q.delivered += uint64(n)
+	q.deliverBatches++
+	c.addInflightLocked(n)
+	q.mu.Unlock()
+	// One modelled broker traversal per batch: the amortization the workflow
+	// layer's bulk messages are built on.
+	if q.b.opts.PerOpDelay != nil {
+		q.b.opts.PerOpDelay()
+	}
+	return batch, nil
+}
 
 // Cancel stops the consumer and requeues its unacked deliveries.
 func (c *Consumer) Cancel() {
@@ -270,19 +557,33 @@ func (c *Consumer) Cancel() {
 // consumerSelf exists to keep map deletion symmetrical under the queue lock.
 func (q *queue) consumerSelf(c *Consumer) *Consumer { return c }
 
-func (c *Consumer) release() {
+func (c *Consumer) release() { c.releaseN(1) }
+
+// releaseN returns n prefetch slots in one consumer-lock round-trip.
+func (c *Consumer) releaseN(n int) {
 	c.mu.Lock()
-	c.inflight--
+	c.inflight -= n
 	c.mu.Unlock()
 	c.q.mu.Lock()
 	c.q.cond.Broadcast()
 	c.q.mu.Unlock()
 }
 
-func (c *Consumer) capacityFree() bool {
+// freeCapacityLocked returns the free prefetch window; the caller holds
+// q.mu, and the consumer lock is always acquired after the queue lock.
+func (c *Consumer) freeCapacityLocked() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.inflight < c.prefetch
+	return c.prefetch - c.inflight
+}
+
+// addInflightLocked charges n deliveries against the prefetch window while
+// the caller still holds q.mu, so concurrent ReceiveBatch callers cannot
+// overrun the window between pop and accounting.
+func (c *Consumer) addInflightLocked(n int) {
+	c.mu.Lock()
+	c.inflight += n
+	c.mu.Unlock()
 }
 
 func (c *Consumer) loop() {
@@ -291,7 +592,7 @@ func (c *Consumer) loop() {
 	q := c.q
 	for {
 		q.mu.Lock()
-		for !q.closed && !c.isStopped() && (q.ready.Len() == 0 || !c.capacityFreeLocked()) {
+		for !q.closed && !c.isStopped() && (q.ready.Len() == 0 || c.freeCapacityLocked() <= 0) {
 			q.cond.Wait()
 		}
 		if q.closed || c.isStopped() {
@@ -322,10 +623,4 @@ func (c *Consumer) isStopped() bool {
 	default:
 		return false
 	}
-}
-
-// capacityFreeLocked must only be called while holding q.mu; it takes the
-// consumer lock, which is always acquired after the queue lock.
-func (c *Consumer) capacityFreeLocked() bool {
-	return c.capacityFree()
 }

@@ -69,7 +69,9 @@ func (e *execManager) start(ctx context.Context) error {
 	e.rts = rts
 	e.mu.Unlock()
 
-	if e.pendC, err = e.am.brk.Consume(QueuePending, e.am.cfg.EmgrBatch); err != nil {
+	// Pull-mode consumer: the Emgr pops whole batches of pending messages
+	// per broker round-trip instead of draining a delivery channel.
+	if e.pendC, err = e.am.brk.ConsumeBatch(QueuePending, e.am.cfg.EmgrBatch); err != nil {
 		return err
 	}
 
@@ -96,56 +98,60 @@ func (e *execManager) emgrLoop(ctx context.Context) {
 			return
 		case <-ctx.Done():
 			return
-		case d, ok := <-e.pendC.Deliveries():
-			if !ok {
-				return
-			}
-			batch := []*broker.Delivery{d}
-			// Opportunistically batch whatever else is ready.
-		drain:
-			for len(batch) < e.am.cfg.EmgrBatch {
-				select {
-				case d2, ok2 := <-e.pendC.Deliveries():
-					if !ok2 {
-						break drain
-					}
-					batch = append(batch, d2)
-				default:
-					break drain
-				}
-			}
-			if err := e.submitBatch(batch); err != nil {
-				e.am.finish(err)
-				return
-			}
+		default:
+		}
+		// One broker round-trip per batch; cancellation (stop, broker
+		// close) surfaces as an error from ReceiveBatch.
+		batch, err := e.pendC.ReceiveBatch(e.am.cfg.EmgrBatch)
+		if err != nil {
+			return
+		}
+		if err := e.submitBatch(batch); err != nil {
+			e.am.finish(err)
+			return
 		}
 	}
 }
 
-// submitBatch translates and submits one batch of pending tasks.
+// submitBatch translates and submits one batch of pending tasks. All
+// settlement happens through the broker's batch API: malformed messages are
+// dropped as one nack batch, and the live remainder is acked or requeued as
+// one batch per outcome.
 func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 	descs := make([]TaskDescription, 0, len(batch))
 	tasks := make([]*Task, 0, len(batch))
+	var drops []*broker.Delivery
+	live := make([]*broker.Delivery, 0, len(batch))
 	for _, d := range batch {
 		var msg pendingMsg
 		if err := json.Unmarshal(d.Body, &msg); err != nil {
-			d.Nack(false) //nolint:errcheck
+			drops = append(drops, d)
 			continue
 		}
 		bad := false
+		ds := make([]TaskDescription, 0, len(msg.TaskUIDs))
+		ts := make([]*Task, 0, len(msg.TaskUIDs))
 		for _, uid := range msg.TaskUIDs {
 			t, ok := e.am.Task(uid)
 			if !ok {
 				bad = true
 				continue
 			}
-			descs = append(descs, describeTask(t))
-			tasks = append(tasks, t)
+			ds = append(ds, describeTask(t))
+			ts = append(ts, t)
 		}
+		// Resolvable tasks are submitted even when the message also named
+		// unknown ones; the message itself is then dropped, not requeued.
+		descs = append(descs, ds...)
+		tasks = append(tasks, ts...)
 		if bad {
-			d.Nack(false) //nolint:errcheck
+			drops = append(drops, d)
 			continue
 		}
+		live = append(live, d)
+	}
+	if err := broker.NackBatch(drops, false); err != nil {
+		return err
 	}
 	// Both transitions are applied in bulk before the RTS sees the batch:
 	// a fast RTS may otherwise report completion before SUBMITTED is
@@ -162,22 +168,15 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 		}
 	}
 	if err := e.emgrSync.taskBatch(toSubmitting, TaskSubmitting); err != nil {
-		for _, d := range batch {
-			d.Nack(true) //nolint:errcheck
-		}
+		broker.NackBatch(live, true) //nolint:errcheck
 		return err
 	}
 	if err := e.emgrSync.taskBatch(toSubmitted, TaskSubmitted); err != nil {
-		for _, d := range batch {
-			d.Nack(true) //nolint:errcheck
-		}
+		broker.NackBatch(live, true) //nolint:errcheck
 		return err
 	}
 	if len(descs) == 0 {
-		for _, d := range batch {
-			d.Ack() //nolint:errcheck
-		}
-		return nil
+		return broker.AckBatch(live)
 	}
 	e.inflightMu.Lock()
 	for _, t := range tasks {
@@ -186,9 +185,7 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 	e.inflightMu.Unlock()
 	rts := e.currentRTS()
 	if rts == nil {
-		for _, d := range batch {
-			d.Nack(true) //nolint:errcheck
-		}
+		broker.NackBatch(live, true) //nolint:errcheck
 		return fmt.Errorf("core: no RTS available")
 	}
 	if err := rts.Submit(descs); err != nil {
@@ -199,15 +196,9 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 			delete(e.inflight, t.UID)
 		}
 		e.inflightMu.Unlock()
-		for _, d := range batch {
-			d.Nack(true) //nolint:errcheck
-		}
-		return nil
+		return broker.NackBatch(live, true)
 	}
-	for _, d := range batch {
-		d.Ack() //nolint:errcheck
-	}
-	return nil
+	return broker.AckBatch(live)
 }
 
 // callbackLoop forwards one RTS instance's completions to the done queue,

@@ -18,6 +18,11 @@ type pendingMsg struct {
 	TaskUIDs []string `json:"task_uids"`
 }
 
+// dequeueBatch bounds how many done-queue messages Dequeue settles per
+// broker round-trip (it is a message bound, not a task bound: each message
+// may carry a whole stage's results).
+const dequeueBatch = 512
+
 // wfProcessor is the Workflow-Management-layer component with the Enqueue
 // and Dequeue subcomponents (paper Fig 2). Enqueue walks the application,
 // tags runnable tasks and pushes them to the pending queue; Dequeue pulls
@@ -52,7 +57,9 @@ func (w *wfProcessor) start(ctx context.Context) error {
 	if w.deqSync, err = newSyncClient(w.am, ackPrefix+"-deq"); err != nil {
 		return err
 	}
-	if w.doneC, err = w.am.brk.Consume(QueueDone, 64); err != nil {
+	// Pull-mode consumer: Dequeue drains completions in batches, paying one
+	// broker round-trip per drained batch instead of one per message.
+	if w.doneC, err = w.am.brk.ConsumeBatch(QueueDone, dequeueBatch); err != nil {
 		return err
 	}
 	// The fixed application-processing cost: translating the workflow into
@@ -206,15 +213,28 @@ func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
 		return err
 	}
 	if len(runnable) > 0 {
-		uids := make([]string, len(runnable))
-		for i, t := range runnable {
-			uids[i] = t.UID
+		// The whole stage goes out as one batch publish. Task UIDs are
+		// chunked into messages of at most BatchSize tasks so the Emgr's
+		// batch granularity is controllable, but however many messages that
+		// yields, the broker is traversed once.
+		chunk := w.am.cfg.EmgrBatch
+		var bodies [][]byte
+		for start := 0; start < len(runnable); start += chunk {
+			end := start + chunk
+			if end > len(runnable) {
+				end = len(runnable)
+			}
+			uids := make([]string, end-start)
+			for i, t := range runnable[start:end] {
+				uids[i] = t.UID
+			}
+			body, err := json.Marshal(pendingMsg{TaskUIDs: uids})
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, body)
 		}
-		body, err := json.Marshal(pendingMsg{TaskUIDs: uids})
-		if err != nil {
-			return err
-		}
-		if err := w.am.brk.Publish(QueuePending, body); err != nil {
+		if err := w.am.brk.PublishBatch(QueuePending, bodies); err != nil {
 			return err
 		}
 	}
@@ -237,31 +257,19 @@ func (w *wfProcessor) dequeueLoop(ctx context.Context) {
 			return
 		case <-ctx.Done():
 			return
-		case d, ok := <-w.doneC.Deliveries():
-			if !ok {
-				return
-			}
-			// Drain whatever else is ready and process completions as one
-			// batch: bulk state updates keep the dequeue path from
-			// serializing tens of thousands of synchronization round trips
-			// at scale.
-			batch := []*broker.Delivery{d}
-		drain:
-			for len(batch) < 512 {
-				select {
-				case d2, ok2 := <-w.doneC.Deliveries():
-					if !ok2 {
-						break drain
-					}
-					batch = append(batch, d2)
-				default:
-					break drain
-				}
-			}
-			if err := w.handleResultBatch(batch); err != nil {
-				w.am.finish(err)
-				return
-			}
+		default:
+		}
+		// ReceiveBatch pops everything ready (up to dequeueBatch) in one
+		// broker round-trip; bulk state updates then keep the dequeue path
+		// from serializing tens of thousands of synchronization round trips
+		// at scale. Cancellation (stop, broker close) surfaces as an error.
+		batch, err := w.doneC.ReceiveBatch(dequeueBatch)
+		if err != nil {
+			return
+		}
+		if err := w.handleResultBatch(batch); err != nil {
+			w.am.finish(err)
+			return
 		}
 	}
 }
@@ -278,16 +286,18 @@ func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
 	}
 	var failures []failure
 	var canceled []*Task
+	var drops []*broker.Delivery // malformed messages: batch-dropped
 	for _, d := range batch {
 		var results []TaskResult
 		if err := json.Unmarshal(d.Body, &results); err != nil {
-			d.Nack(false) //nolint:errcheck
+			drops = append(drops, d)
 			continue
 		}
 		for _, res := range results {
 			t, ok := w.am.Task(res.UID)
 			if !ok {
-				d.Ack() //nolint:errcheck
+				broker.NackBatch(drops, false) //nolint:errcheck
+				broker.AckBatch(batch)         //nolint:errcheck
 				return fmt.Errorf("core: completion for unknown task %s", res.UID)
 			}
 			switch {
@@ -299,7 +309,15 @@ func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
 				failures = append(failures, failure{t: t, res: res})
 			}
 		}
-		d.Ack() //nolint:errcheck
+	}
+	// Settle the whole drain in two broker round-trips (one ack batch, one
+	// drop batch) instead of one per message. NackBatch/AckBatch skip
+	// deliveries the other call already settled.
+	if err := broker.NackBatch(drops, false); err != nil {
+		return err
+	}
+	if err := broker.AckBatch(batch); err != nil {
+		return err
 	}
 
 	// The RTS reported these attempts finished: SUBMITTED -> EXECUTED, then

@@ -34,6 +34,27 @@ func TestFig6PrototypeSmall(t *testing.T) {
 	}
 }
 
+func TestFig6BatchedSmall(t *testing.T) {
+	rows, err := Fig6Batched(20000, 64, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AggregateTime <= 0 {
+			t.Fatalf("non-positive aggregate time: %+v", r)
+		}
+		if r.Batch != 64 {
+			t.Fatalf("batch = %d", r.Batch)
+		}
+	}
+	if _, err := Fig6Batched(100, 1, nil); err == nil {
+		t.Fatal("batch=1 accepted")
+	}
+}
+
 func TestFig6Uneven(t *testing.T) {
 	rows, err := Fig6Uneven(5000)
 	if err != nil {

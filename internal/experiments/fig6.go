@@ -18,6 +18,9 @@ type Fig6Row struct {
 	Consumers int
 	Queues    int
 	Tasks     int
+	// Batch is the broker batch size used; 0 or 1 means the per-message
+	// path (the paper's original configuration).
+	Batch int
 
 	ProducerTime  time.Duration // wall time until all tasks are published
 	ConsumerTime  time.Duration // wall time until all tasks are consumed
@@ -48,7 +51,34 @@ func Fig6Prototype(tasks int, configs []int) ([]Fig6Row, error) {
 	}
 	var rows []Fig6Row
 	for _, n := range configs {
-		row, err := fig6Run(tasks, n, n, n)
+		row, err := fig6Run(tasks, n, n, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Batched is the batched-broker variant of the prototype benchmark:
+// identical producer/consumer/queue topology, but producers publish bodies
+// through PublishBatch in chunks of batch and consumers drain through
+// pull-mode ReceiveBatch with batch acknowledgements. Comparing a
+// Fig6Batched row against the Fig6Prototype row of the same shape isolates
+// the broker hot-path amortization the batch API buys.
+func Fig6Batched(tasks, batch int, configs []int) ([]Fig6Row, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive task count")
+	}
+	if batch <= 1 {
+		return nil, fmt.Errorf("experiments: batch must exceed 1 (got %d)", batch)
+	}
+	if len(configs) == 0 {
+		configs = []int{1, 2, 4, 8}
+	}
+	var rows []Fig6Row
+	for _, n := range configs {
+		row, err := fig6Run(tasks, n, n, n, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +93,7 @@ func Fig6Uneven(tasks int) ([]Fig6Row, error) {
 	shapes := [][3]int{{8, 1, 1}, {1, 8, 1}, {4, 8, 4}}
 	var rows []Fig6Row
 	for _, s := range shapes {
-		row, err := fig6Run(tasks, s[0], s[1], s[2])
+		row, err := fig6Run(tasks, s[0], s[1], s[2], 0)
 		if err != nil {
 			return nil, err
 		}
@@ -78,34 +108,21 @@ func heapMB() float64 {
 	return float64(ms.HeapAlloc) / (1 << 20)
 }
 
-func fig6Run(tasks, producers, consumers, queues int) (Fig6Row, error) {
-	b := broker.New(broker.Options{})
-	defer b.Close()
-	qnames := make([]string, queues)
-	for i := range qnames {
-		qnames[i] = fmt.Sprintf("q%02d", i)
-		if err := b.DeclareQueue(qnames[i], broker.QueueOptions{}); err != nil {
-			return Fig6Row{}, err
-		}
-	}
-
-	row := Fig6Row{Producers: producers, Consumers: consumers, Queues: queues, Tasks: tasks}
-	runtime.GC()
-	row.BaseMemMB = heapMB()
-
-	// Peak-memory sampler.
+// startPeakSampler samples the heap every 5ms; the returned stop function
+// ends sampling and reports the peak observed, in MB.
+func startPeakSampler(baseMB float64) (stop func() float64) {
 	var peak atomic.Uint64
-	peak.Store(uint64(row.BaseMemMB * 1024))
-	samplerStop := make(chan struct{})
-	var samplerWG sync.WaitGroup
-	samplerWG.Add(1)
+	peak.Store(uint64(baseMB * 1024))
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
-		defer samplerWG.Done()
+		defer wg.Done()
 		tick := time.NewTicker(5 * time.Millisecond)
 		defer tick.Stop()
 		for {
 			select {
-			case <-samplerStop:
+			case <-stopCh:
 				return
 			case <-tick.C:
 				kb := uint64(heapMB() * 1024)
@@ -118,10 +135,38 @@ func fig6Run(tasks, producers, consumers, queues int) (Fig6Row, error) {
 			}
 		}
 	}()
+	return func() float64 {
+		close(stopCh)
+		wg.Wait()
+		return float64(peak.Load()) / 1024
+	}
+}
+
+// fig6Run executes one prototype configuration. batch <= 1 selects the
+// per-message broker path (the paper's original setup); batch > 1 moves
+// the same task volume over the batched fast path (PublishBatch in chunks
+// of batch, pull-mode ReceiveBatch with batch acknowledgements).
+func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
+	b := broker.New(broker.Options{})
+	defer b.Close()
+	qnames := make([]string, queues)
+	for i := range qnames {
+		qnames[i] = fmt.Sprintf("q%02d", i)
+		if err := b.DeclareQueue(qnames[i], broker.QueueOptions{}); err != nil {
+			return Fig6Row{}, err
+		}
+	}
+
+	row := Fig6Row{Producers: producers, Consumers: consumers, Queues: queues, Tasks: tasks}
+	if batch > 1 {
+		row.Batch = batch
+	}
+	runtime.GC()
+	row.BaseMemMB = heapMB()
+	stopSampler := startPeakSampler(row.BaseMemMB)
 
 	start := time.Now()
 	var producerWG sync.WaitGroup
-	var producersDone atomic.Int64
 	perProducer := tasks / producers
 	extra := tasks % producers
 	for p := 0; p < producers; p++ {
@@ -133,6 +178,10 @@ func fig6Run(tasks, producers, consumers, queues int) (Fig6Row, error) {
 		go func(p, n int) {
 			defer producerWG.Done()
 			q := qnames[p%queues]
+			var bodies [][]byte
+			if batch > 1 {
+				bodies = make([][]byte, 0, batch)
+			}
 			for i := 0; i < n; i++ {
 				body, _ := json.Marshal(fig6Task{
 					UID:        fmt.Sprintf("task.%06d.%06d", p, i),
@@ -140,39 +189,75 @@ func fig6Run(tasks, producers, consumers, queues int) (Fig6Row, error) {
 					Arguments:  []string{"0"},
 					Cores:      1,
 				})
-				b.Publish(q, body) //nolint:errcheck
+				if batch <= 1 {
+					b.Publish(q, body) //nolint:errcheck
+					continue
+				}
+				bodies = append(bodies, body)
+				if len(bodies) == batch {
+					b.PublishBatch(q, bodies) //nolint:errcheck
+					bodies = bodies[:0]
+				}
 			}
-			producersDone.Add(1)
+			b.PublishBatch(q, bodies) //nolint:errcheck
 		}(p, n)
 	}
 
 	var consumed atomic.Int64
 	allDone := make(chan struct{})
+	var doneOnce sync.Once
+	done := func(n int) {
+		if consumed.Add(int64(n)) >= int64(tasks) {
+			doneOnce.Do(func() { close(allDone) })
+		}
+	}
 	var consumerWG sync.WaitGroup
 	for c := 0; c < consumers; c++ {
-		cons, err := b.Consume(qnames[c%queues], 512)
+		qname := qnames[c%queues]
+		consumerWG.Add(1)
+		if batch <= 1 {
+			cons, err := b.Consume(qname, 512)
+			if err != nil {
+				return Fig6Row{}, err
+			}
+			go func(cons *broker.Consumer) {
+				defer consumerWG.Done()
+				for {
+					select {
+					case d, ok := <-cons.Deliveries():
+						if !ok {
+							return
+						}
+						// "Empty RTS module": decode and drop.
+						var t fig6Task
+						json.Unmarshal(d.Body, &t) //nolint:errcheck
+						d.Ack()                    //nolint:errcheck
+						done(1)
+					case <-allDone:
+						return
+					}
+				}
+			}(cons)
+			continue
+		}
+		cons, err := b.ConsumeBatch(qname, 2*batch)
 		if err != nil {
 			return Fig6Row{}, err
 		}
-		consumerWG.Add(1)
 		go func(cons *broker.Consumer) {
 			defer consumerWG.Done()
 			for {
-				select {
-				case d, ok := <-cons.Deliveries():
-					if !ok {
-						return
-					}
-					// "Empty RTS module": decode and drop.
+				ds, err := cons.ReceiveBatch(batch)
+				if err != nil {
+					return // broker closed: run over
+				}
+				// "Empty RTS module": decode and drop.
+				for _, d := range ds {
 					var t fig6Task
 					json.Unmarshal(d.Body, &t) //nolint:errcheck
-					d.Ack()                    //nolint:errcheck
-					if consumed.Add(1) == int64(tasks) {
-						close(allDone)
-					}
-				case <-allDone:
-					return
 				}
+				broker.AckBatch(ds) //nolint:errcheck
+				done(len(ds))
 			}
 		}(cons)
 	}
@@ -184,8 +269,6 @@ func fig6Run(tasks, producers, consumers, queues int) (Fig6Row, error) {
 	row.AggregateTime = time.Since(start)
 	b.Close()
 	consumerWG.Wait()
-	close(samplerStop)
-	samplerWG.Wait()
-	row.PeakMemMB = float64(peak.Load()) / 1024
+	row.PeakMemMB = stopSampler()
 	return row, nil
 }

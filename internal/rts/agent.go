@@ -132,62 +132,79 @@ func (a *agent) stage(files []fsim.File) time.Duration {
 	}
 }
 
-// schedulerLoop pulls tasks from the store and places them on free cores,
-// serializing dispatch by DispatchLatency (the weak-scaling delay source).
-// Within a burst of dispatches the stagger is applied as a per-task start
-// delay slept by the executor, which is virtually identical to a serial
-// scheduler but costs one wall sleep per task instead of a serial chain.
+// schedulerPullBatch bounds how many tasks the scheduler pops from the
+// store per lock round-trip.
+const schedulerPullBatch = 256
+
+// schedulerLoop pulls task batches from the store and places each task on
+// free cores, serializing dispatch by DispatchLatency (the weak-scaling
+// delay source). Batch pulls amortize the store's lock and journal append;
+// placement within the batch is unchanged — one dispatch per task. Within a
+// burst of dispatches the stagger is applied as a per-task start delay
+// slept by the executor, which is virtually identical to a serial scheduler
+// but costs one wall sleep per task instead of a serial chain.
 func (a *agent) schedulerLoop() {
 	defer a.wg.Done()
 	burst := 0
 	for {
-		desc, ok := a.rts.store.Pull()
+		descs, ok := a.rts.store.PullBatch(schedulerPullBatch)
 		if !ok {
 			return
 		}
-		cores := desc.Cores
-		if cores <= 0 {
-			cores = 1
-		}
-		if cores > a.cores {
-			// The task can never fit this pilot: report failure.
-			a.rts.deliver(core.TaskResult{
-				UID: desc.UID, ExitCode: 1,
-				Error: "task requires more cores than the pilot has",
-			})
-			continue
-		}
-		gpus := desc.GPUs
-		if gpus > a.gpus {
-			a.rts.deliver(core.TaskResult{
-				UID: desc.UID, ExitCode: 1,
-				Error: "task requires more GPUs than the pilot has",
-			})
-			continue
-		}
-		granted, waited := a.acquire(cores, gpus)
-		if !granted {
-			return // agent stopping
-		}
-		if waited {
-			burst = 0 // the scheduler idled; a new dispatch burst begins
-		}
-		delay := time.Duration(burst) * a.rts.model.DispatchLatency
-		burst++
-		a.wg.Add(1)
-		go func(desc core.TaskDescription, cores, gpus int, delay time.Duration) {
-			defer a.wg.Done()
-			defer a.release(cores, gpus)
-			if delay > 0 {
-				select {
-				case <-a.rts.clock.After(delay):
-				case <-a.rts.stopCh:
-					return
-				}
+		for _, desc := range descs {
+			if !a.place(desc, &burst) {
+				return // agent stopping
 			}
-			a.execute(desc)
-		}(desc, cores, gpus, delay)
+		}
 	}
+}
+
+// place schedules one task, blocking until its cores and GPUs are free; it
+// returns false when the agent is stopping.
+func (a *agent) place(desc core.TaskDescription, burst *int) bool {
+	cores := desc.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	if cores > a.cores {
+		// The task can never fit this pilot: report failure.
+		a.rts.deliver(core.TaskResult{
+			UID: desc.UID, ExitCode: 1,
+			Error: "task requires more cores than the pilot has",
+		})
+		return true
+	}
+	gpus := desc.GPUs
+	if gpus > a.gpus {
+		a.rts.deliver(core.TaskResult{
+			UID: desc.UID, ExitCode: 1,
+			Error: "task requires more GPUs than the pilot has",
+		})
+		return true
+	}
+	granted, waited := a.acquire(cores, gpus)
+	if !granted {
+		return false
+	}
+	if waited {
+		*burst = 0 // the scheduler idled; a new dispatch burst begins
+	}
+	delay := time.Duration(*burst) * a.rts.model.DispatchLatency
+	*burst++
+	a.wg.Add(1)
+	go func(desc core.TaskDescription, cores, gpus int, delay time.Duration) {
+		defer a.wg.Done()
+		defer a.release(cores, gpus)
+		if delay > 0 {
+			select {
+			case <-a.rts.clock.After(delay):
+			case <-a.rts.stopCh:
+				return
+			}
+		}
+		a.execute(desc)
+	}(desc, cores, gpus, delay)
+	return true
 }
 
 // acquire blocks until n cores and g GPUs are free; granted=false when the

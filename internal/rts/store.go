@@ -30,27 +30,39 @@ func newStore(jrn *journal.Journal) *store {
 	return s
 }
 
+// storeRec is the audit record for store traffic: one record per Push or
+// Pull/PullBatch call, covering every task the call moved. The shared
+// schema keeps the journal uniform whether the scheduler drains per task
+// or in batches, and amortizes one append over the whole operation.
 type storeRec struct {
-	UID string `json:"uid"`
-	Op  string `json:"op"` // "push" | "pull"
+	UIDs []string `json:"uids"`
+	Op   string   `json:"op"` // "push" | "pull"
 }
 
-// Push appends task descriptions.
+func (s *store) journalLocked(op string, tasks []core.TaskDescription) error {
+	if s.jrn == nil || len(tasks) == 0 {
+		return nil
+	}
+	rec := storeRec{UIDs: make([]string, len(tasks)), Op: op}
+	for i, t := range tasks {
+		rec.UIDs[i] = t.UID
+	}
+	_, err := s.jrn.Append("rts.store", rec)
+	return err
+}
+
+// Push appends task descriptions, journaling the batch as one record.
 func (s *store) Push(tasks []core.TaskDescription) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errStoreClosed
 	}
-	for _, t := range tasks {
-		if s.jrn != nil {
-			if _, err := s.jrn.Append("rts.store", storeRec{UID: t.UID, Op: "push"}); err != nil {
-				return err
-			}
-		}
-		s.queue = append(s.queue, t)
-		s.pushed++
+	if err := s.journalLocked("push", tasks); err != nil {
+		return err
 	}
+	s.queue = append(s.queue, tasks...)
+	s.pushed += uint64(len(tasks))
 	s.cond.Broadcast()
 	return nil
 }
@@ -68,10 +80,35 @@ func (s *store) Pull() (core.TaskDescription, bool) {
 	t := s.queue[0]
 	s.queue = s.queue[1:]
 	s.pulled++
-	if s.jrn != nil {
-		s.jrn.Append("rts.store", storeRec{UID: t.UID, Op: "pull"}) //nolint:errcheck
-	}
+	s.journalLocked("pull", []core.TaskDescription{t}) //nolint:errcheck
 	return t, true
+}
+
+// PullBatch blocks until at least one task is available, then pops up to
+// max tasks under one lock acquisition and one journal append — the Agent's
+// side of the batched hot path. ok=false means the store closed.
+func (s *store) PullBatch(max int) ([]core.TaskDescription, bool) {
+	if max <= 0 {
+		max = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return nil, false
+	}
+	n := max
+	if len(s.queue) < n {
+		n = len(s.queue)
+	}
+	batch := make([]core.TaskDescription, n)
+	copy(batch, s.queue[:n])
+	s.queue = s.queue[n:]
+	s.pulled += uint64(n)
+	s.journalLocked("pull", batch) //nolint:errcheck
+	return batch, true
 }
 
 // Depth returns the number of queued tasks.
