@@ -1,9 +1,16 @@
 # Local and CI entry points — .github/workflows/ci.yml invokes exactly
-# these targets so a green local run means a green CI run.
+# these targets so a green local run means a green CI run. The benchmark
+# baseline workflow (bench-json / bench-gate / bench-baseline) is described
+# in docs/ci.md.
 
 GO ?= go
 
-.PHONY: build test bench lint
+# The benchmark subset tracked by the regression gate: the broker hot-path
+# pipelines and the multi-consumer ablation. Stable, fast, and the numbers
+# this repo's PRs argue about.
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers)
+
+.PHONY: build test bench lint bench-json bench-gate bench-baseline
 
 build:
 	$(GO) build ./...
@@ -15,6 +22,23 @@ test:
 # use `go test -bench=<pattern> -benchmem -benchtime=...` directly.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Run the gated benchmark subset long enough for stable numbers and write
+# them as BENCH_PR2.json (benchmark -> ns/op, B/op, allocs/op). Two counts;
+# benchdiff keeps the best run of each, damping scheduler noise.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 300ms -count 2 . | tee bench.out
+	$(GO) run ./cmd/benchdiff -parse bench.out -out BENCH_PR2.json
+
+# Compare fresh numbers against the checked-in baseline; exits nonzero on a
+# >25% ns/op regression. CI runs the same comparison with -warn (shared
+# runners are too noisy for a hard gate).
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR2.json
+
+# Re-record the baseline after an intentional performance change.
+bench-baseline: bench-json
+	cp BENCH_PR2.json BENCH_BASELINE.json
 
 lint:
 	@fmt_out=$$(gofmt -l .); \

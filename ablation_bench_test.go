@@ -59,39 +59,74 @@ func BenchmarkAblationBrokerPrefetch(b *testing.B) {
 	}
 }
 
+// ablationPipelineMsgs is how many messages each iteration of the
+// multi-consumer ablation moves end to end.
+const ablationPipelineMsgs = 8192
+
 // BenchmarkAblationBrokerConsumers measures aggregate throughput with 1, 2,
-// 4 and 8 consumers on one queue (the Fig 6 tuning axis).
+// 4 and 8 consumers on one queue (the Fig 6 tuning axis), comparing the
+// single-lock ready ring (shards-1) against the sharded configuration
+// (shards-8). Each iteration streams a fixed message volume through the
+// batched hot path the workflow layers use — PublishBatch in, pull-mode
+// ReceiveBatch/AckBatch out — so the number is consumer-side queue cost,
+// not producer or memory noise.
 func BenchmarkAblationBrokerConsumers(b *testing.B) {
 	for _, consumers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("consumers-%d", consumers), func(b *testing.B) {
-			br := broker.New(broker.Options{})
-			defer br.Close()
-			br.DeclareQueue("q", broker.QueueOptions{})
-			var received int64
-			done := make(chan struct{})
-			var once sync.Once
-			for c := 0; c < consumers; c++ {
-				cons, err := br.Consume("q", 64)
-				if err != nil {
-					b.Fatal(err)
+		for _, cfg := range []struct {
+			label  string
+			shards int
+		}{{"shards-1", 1}, {"shards-8", 8}} {
+			b.Run(fmt.Sprintf("consumers-%d/%s", consumers, cfg.label), func(b *testing.B) {
+				const pubBatch = 256
+				br := broker.New(broker.Options{})
+				defer br.Close()
+				br.DeclareQueue("q", broker.QueueOptions{Shards: cfg.shards})
+				bodies := make([][]byte, pubBatch)
+				for i := range bodies {
+					bodies[i] = []byte(`{"uid":"task.1"}`)
 				}
-				go func() {
-					for d := range cons.Deliveries() {
-						d.Ack()
-						if atomic.AddInt64(&received, 1) == int64(b.N) {
-							once.Do(func() { close(done) })
-							return
-						}
+				conss := make([]*broker.Consumer, consumers)
+				counts := make(chan int, 64)
+				var wg sync.WaitGroup
+				for c := range conss {
+					cons, err := br.ConsumeBatch("q", 2*pubBatch)
+					if err != nil {
+						b.Fatal(err)
 					}
-				}()
-			}
-			body := []byte(`{"uid":"task.1"}`)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				br.Publish("q", body) //nolint:errcheck
-			}
-			<-done
-		})
+					conss[c] = cons
+					wg.Add(1)
+					go func(cons *broker.Consumer) {
+						defer wg.Done()
+						for {
+							ds, err := cons.ReceiveBatch(pubBatch)
+							if err != nil {
+								return // cancelled: benchmark over
+							}
+							broker.AckBatch(ds) //nolint:errcheck
+							counts <- len(ds)
+						}
+					}(cons)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One iteration = one fixed message volume through the
+					// queue; the producer stays one iteration ahead at most,
+					// so the backlog (and allocator noise) stays bounded.
+					for k := 0; k < ablationPipelineMsgs/pubBatch; k++ {
+						br.PublishBatch("q", bodies) //nolint:errcheck
+					}
+					for got := 0; got < ablationPipelineMsgs; {
+						got += <-counts
+					}
+				}
+				b.StopTimer()
+				for _, cons := range conss {
+					cons.Cancel()
+				}
+				wg.Wait()
+				b.ReportMetric(float64(ablationPipelineMsgs*b.N)/b.Elapsed().Seconds(), "msgs/s")
+			})
+		}
 	}
 }
 

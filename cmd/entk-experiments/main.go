@@ -13,7 +13,9 @@
 // Experiment numbers: 0 = Fig 6 prototype; 1-4 = Fig 7a-d overheads;
 // 5 = Fig 8 weak scaling; 6 = Fig 9 strong scaling; 7 = Fig 10 seismic
 // ensemble; 8 = Fig 11 AnEn adaptive vs random; 9 = Fig 10 full series
-// (every ensemble size x concurrency).
+// (every ensemble size x concurrency); 10 = Fig 6 BatchSize x
+// consumer-count grid over the sharded broker; 11 = Fig 8-style
+// weak-scaling sweep across broker batch sizes.
 package main
 
 import (
@@ -131,6 +133,24 @@ func main() {
 			fail(err)
 		}
 		experiments.RenderFig10(os.Stdout, rows)
+	}
+	if want["10"] {
+		tasks := *fig6Tasks
+		if *quick {
+			tasks = 50000
+		}
+		rows, err := experiments.Fig6Grid(tasks, nil, nil)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderFig6(os.Stdout, rows)
+	}
+	if want["11"] {
+		rows, err := experiments.Fig8BatchSweep(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderBatchSweep(os.Stdout, rows)
 	}
 	if want["tune"] {
 		rec, err := experiments.AutotuneConcurrency(opts)

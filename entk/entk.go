@@ -141,6 +141,11 @@ type AppConfig struct {
 	// pipelines on a small pilot); 1 effectively restores the per-message
 	// path.
 	BatchSize int
+	// QueueShards is the number of independently locked ready rings behind
+	// each task-traffic broker queue and the RTS task store — the
+	// multi-consumer scaling knob. 0 selects the broker default,
+	// min(GOMAXPROCS, 8); 1 restores the single-lock queues.
+	QueueShards int
 	// RTSRestarts bounds RTS restarts after runtime-system failures.
 	RTSRestarts int
 	// JournalPath enables transactional state journaling and recovery.
@@ -298,6 +303,7 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		TaskRetries: cfg.TaskRetries,
 		RTSRestarts: cfg.RTSRestarts,
 		EmgrBatch:   cfg.BatchSize,
+		QueueShards: cfg.QueueShards,
 	})
 	if err != nil {
 		closeAll()
@@ -312,13 +318,14 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Project:  cfg.Resource.Project,
 	})
 	baseRTS := rts.Config{
-		Clock:    clock,
-		Session:  session,
-		Registry: registry,
-		FS:       fs,
-		Prof:     am.Profiler(),
-		Compute:  cfg.Compute,
-		Seed:     cfg.Seed,
+		Clock:       clock,
+		Session:     session,
+		Registry:    registry,
+		FS:          fs,
+		Prof:        am.Profiler(),
+		Compute:     cfg.Compute,
+		Seed:        cfg.Seed,
+		QueueShards: cfg.QueueShards,
 	}
 	if len(cfg.ExtraResources) == 0 {
 		am.SetRTSFactory(rts.Factory(baseRTS))

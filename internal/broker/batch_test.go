@@ -12,7 +12,7 @@ import (
 
 func TestPublishBatchFIFOInterleaved(t *testing.T) {
 	b := newTestBroker(t)
-	mustDeclare(t, b, "q")
+	mustDeclareFIFO(t, b, "q")
 	// Interleave single publishes and batches; the drain order must be the
 	// publish-call order with each batch occupying consecutive slots.
 	var want []byte
@@ -306,7 +306,9 @@ func TestDurableRecoverBatchedPublishes(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := New(Options{Journal: j})
-	if err := b.DeclareQueue("pending", QueueOptions{Durable: true}); err != nil {
+	// Single shard: the test asserts strict recovery drain order; sharded
+	// replay is covered in shard_test.go.
+	if err := b.DeclareQueue("pending", QueueOptions{Durable: true, Shards: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// One batch publish, one single publish, then batch-ack a prefix.
@@ -339,7 +341,7 @@ func TestDurableRecoverBatchedPublishes(t *testing.T) {
 	defer j2.Close()
 	b2 := New(Options{Journal: j2})
 	defer b2.Close()
-	b2.DeclareQueue("pending", QueueOptions{Durable: true}) //nolint:errcheck
+	b2.DeclareQueue("pending", QueueOptions{Durable: true, Shards: 1}) //nolint:errcheck
 	if err := b2.Recover(jpath); err != nil {
 		t.Fatal(err)
 	}

@@ -24,15 +24,40 @@
 // (paper §II-C, Fig 6).
 //
 // Ordering guarantees are identical on both paths and they interleave
-// freely on one queue: a batch occupies N consecutive FIFO slots in
-// publish-call order, delivery drains the head in FIFO order regardless of
-// how messages arrived, and NackBatch with requeue returns the whole batch
-// to the front of the queue preserving the batch's internal order (the
-// batch analogue of single Nack's requeue-at-front). Messages redelivered
+// freely on one queue: a batch occupies consecutive FIFO slots of one
+// shard in publish-call order, delivery drains each shard's head in FIFO
+// order regardless of how messages arrived, and NackBatch with requeue
+// returns the batch to the front of the shards it came from preserving the
+// batch's per-shard order (the batch analogue of single Nack's
+// requeue-at-front). On a Shards: 1 queue these collapse to the strict
+// global guarantees of the original single-lock queue — see the sharding
+// section below for what relaxes when Shards > 1. Messages redelivered
 // after a requeue carry Redelivered=true exactly as on the single path.
 // Options.PerOpDelay is charged once per batch operation instead of once
 // per message — batching amortizes the modelled broker traversal the same
 // way it amortizes the real lock.
+//
+// # Sharded ready rings
+//
+// Each queue's ready storage is split into QueueOptions.Shards independently
+// locked ring-deques (default min(GOMAXPROCS, 8)). Publish operations land
+// on shards round-robin — a batch stays contiguous in one shard, and a
+// Producer handle pins all its publishes to one shard — while consumers pop
+// from a preferred shard assigned round-robin at registration, stealing
+// from the next non-empty shard when theirs runs dry. Concurrent producers
+// and consumers therefore fan out across shard locks instead of serializing
+// on one queue mutex.
+//
+// Sharding trades global ordering for scalability, exactly like a
+// partitioned topic: delivery is FIFO per shard, so a queue declared with
+// Shards: 1 keeps the strict global FIFO of the original single-lock queue,
+// and on a sharded queue every publisher that goes through a Producer
+// handle gets per-producer FIFO — each consumer observes that producer's
+// messages in publish order. Nacked messages requeue at the front of the
+// shard they were delivered from (the batch analogue preserves the batch's
+// per-shard order), settlement stays exactly-once via the per-shard unacked
+// ledgers, and durable-journal replay redistributes recovered messages
+// across shards in replay order.
 package broker
 
 import (
@@ -70,42 +95,57 @@ type Message struct {
 // the consumer is cancelled.
 type Delivery struct {
 	Message
-	q    *queue
-	c    *Consumer
-	once sync.Once
+	q  *queue
+	sh *qshard // shard the message was delivered from (requeue target)
+	c  *Consumer
+
+	// Intrusive unacked-ledger links, guarded by sh.mu. The ledger makes
+	// register/settle O(1) pointer writes instead of hash-map operations —
+	// the dominant per-message cost on the delivery hot path — and its
+	// membership bit doubles as the exactly-once settlement claim, so no
+	// separate sync.Once is needed.
+	prev, next *Delivery
+	listed     bool
 }
 
-// Ack acknowledges the delivery, removing the message permanently.
+// Ack acknowledges the delivery, removing the message permanently. Settling
+// a delivery twice (any mix of Ack, Nack and the batch settlements) returns
+// ErrAlreadyAcked: the unacked ledger is the single claim, checked under
+// the shard lock.
 func (d *Delivery) Ack() error {
-	err := ErrAlreadyAcked
-	d.once.Do(func() {
-		err = d.q.settle(d, false, false)
-	})
-	return err
+	return d.q.settle(d, false, false)
 }
 
 // Nack rejects the delivery. With requeue, the message returns to the front
 // of the queue flagged Redelivered; otherwise it is dropped.
 func (d *Delivery) Nack(requeue bool) error {
-	err := ErrAlreadyAcked
-	d.once.Do(func() {
-		err = d.q.settle(d, true, requeue)
-	})
-	return err
+	return d.q.settle(d, true, requeue)
 }
 
 // QueueStats is a snapshot of one queue's counters.
 type QueueStats struct {
-	Name      string
-	Depth     int    // messages ready for delivery
-	Unacked   int    // delivered but not yet acked
-	PeakDepth int    // maximum ready depth observed
+	Name    string
+	Depth   int // messages ready for delivery
+	Unacked int // delivered but not yet acked
+	// PeakDepth and PeakBytes are the sums of each shard's high-water
+	// marks. For sequential workloads (and on Shards: 1 queues) that is
+	// exactly the maximum observed; under concurrency shards can peak at
+	// different moments, so the sum is an upper bound on the true global
+	// peak.
+	PeakDepth int
+	PeakBytes int64
 	Published uint64 // total messages published
 	Delivered uint64 // total deliveries (including redeliveries)
 	Acked     uint64
 	Nacked    uint64
 	Bytes     int64 // bytes currently held (ready + unacked)
-	PeakBytes int64
+
+	// Shard observability: the resolved shard count, the per-shard ready
+	// depths, and how many pops a consumer served from a shard other than
+	// its preferred one (work-stealing).
+	Shards      int
+	ShardDepths []int
+	Steals      uint64
 
 	// Batch-path counters: one increment per batch operation (not per
 	// message), so Published/PublishBatches gives the realized batch size.
@@ -120,6 +160,12 @@ type QueueOptions struct {
 	// Durable journals publishes and acks, so queue contents can be
 	// recovered after a crash via Broker.Recover.
 	Durable bool
+	// Shards is the number of independently locked ready rings backing the
+	// queue. 0 selects the default, min(GOMAXPROCS, 8); 1 restores the
+	// strict single-lock FIFO queue. More shards let concurrent consumers
+	// scale past the single-lock bottleneck at the cost of relaxing global
+	// FIFO to per-producer FIFO under concurrency.
+	Shards int
 }
 
 // Options configure a Broker.
@@ -203,7 +249,10 @@ func (b *Broker) lookup(name string) (*queue, error) {
 	return q, nil
 }
 
-// Publish appends body to the named queue.
+// Publish appends body to the named queue's next round-robin shard.
+// Delivery order is FIFO per shard (global FIFO on a Shards: 1 queue); a
+// publisher that needs its own messages delivered in order on a sharded
+// queue should publish through a Producer handle instead.
 func (b *Broker) Publish(queueName string, body []byte) error {
 	q, err := b.lookup(queueName)
 	if err != nil {
@@ -215,11 +264,16 @@ func (b *Broker) Publish(queueName string, body []byte) error {
 	return q.publish(Message{ID: b.nextID.Add(1), Body: body})
 }
 
-// PublishBatch appends bodies, in order, to the named queue under a single
-// queue-lock acquisition and (for durable queues) a single journal record —
-// the producer half of the batched fast path. Publishing an empty batch is
-// a no-op. The batch occupies consecutive FIFO slots: interleaved Publish
-// and PublishBatch calls drain in publish-call order.
+// PublishBatch appends bodies, in order, to one shard of the named queue
+// under a single shard-lock acquisition and (for durable queues) a single
+// journal record — the producer half of the batched fast path. Publishing
+// an empty batch is a no-op. The batch occupies consecutive slots in its
+// shard, so it is always drained in its internal order. Drain order
+// ACROSS publish operations is per shard: on a Shards: 1 queue interleaved
+// Publish and PublishBatch calls drain in publish-call order exactly as
+// before; on a sharded queue (the default) successive stateless publish
+// operations land on different shards and may be drained out of call
+// order — use a Producer handle when per-publisher ordering matters.
 func (b *Broker) PublishBatch(queueName string, bodies [][]byte) error {
 	if len(bodies) == 0 {
 		return nil
@@ -236,6 +290,55 @@ func (b *Broker) PublishBatch(queueName string, bodies [][]byte) error {
 		msgs[i] = Message{ID: b.nextID.Add(1), Body: body}
 	}
 	return q.publishBatch(msgs)
+}
+
+// Producer is a lightweight publisher handle pinned to one shard of a
+// queue, assigned round-robin at creation. Everything published through the
+// same Producer lands on that shard in call order, which is what makes
+// per-producer FIFO hold on sharded queues: shards are FIFO, so any
+// consumer receives this producer's messages in publish order however many
+// consumers the queue has. Producers on different shards share no locks. A
+// Producer is safe for concurrent use, though per-producer ordering is only
+// meaningful for callers that publish sequentially.
+type Producer struct {
+	b  *Broker
+	q  *queue
+	sh *qshard
+}
+
+// Producer returns a publisher handle pinned to the named queue's next
+// round-robin shard.
+func (b *Broker) Producer(queueName string) (*Producer, error) {
+	q, err := b.lookup(queueName)
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{b: b, q: q, sh: q.nextShard()}, nil
+}
+
+// Publish appends body to this producer's shard.
+func (p *Producer) Publish(body []byte) error {
+	if p.b.opts.PerOpDelay != nil {
+		p.b.opts.PerOpDelay()
+	}
+	return p.q.publishTo(p.sh, Message{ID: p.b.nextID.Add(1), Body: body})
+}
+
+// PublishBatch appends bodies, in order, to this producer's shard under a
+// single shard-lock acquisition and (for durable queues) a single journal
+// record.
+func (p *Producer) PublishBatch(bodies [][]byte) error {
+	if len(bodies) == 0 {
+		return nil
+	}
+	if p.b.opts.PerOpDelay != nil {
+		p.b.opts.PerOpDelay()
+	}
+	msgs := make([]Message, len(bodies))
+	for i, body := range bodies {
+		msgs[i] = Message{ID: p.b.nextID.Add(1), Body: body}
+	}
+	return p.q.publishBatchTo(p.sh, msgs)
 }
 
 // Get synchronously pops one ready message, returning ok=false when the
@@ -292,40 +395,27 @@ func NackBatch(ds []*Delivery, requeue bool) error {
 	return settleBatch(ds, true, requeue)
 }
 
-// settleBatch claims each unsettled delivery and settles per queue.
+// settleBatch groups deliveries by queue and settles each group. Claiming
+// happens inside the per-queue settlement, under the shard locks, via the
+// unacked-ledger membership bit — already-settled deliveries are skipped
+// there, so the common single-queue batch needs no allocation here at all.
 func settleBatch(ds []*Delivery, nack, requeue bool) error {
 	if len(ds) == 0 {
 		return nil
 	}
-	// Claim via each delivery's once so later individual Ack/Nack calls on
-	// the same delivery return ErrAlreadyAcked, exactly as on the single
-	// path. Preserve order within each queue group: requeue prepends the
-	// group as a unit. The common single-queue batch settles without any
-	// grouping allocation beyond the claimed slice.
-	claimed := make([]*Delivery, 0, len(ds))
-	var q0 *queue
+	q0 := ds[0].q
 	mixed := false
-	for _, d := range ds {
-		ok := false
-		d.once.Do(func() { ok = true })
-		if !ok {
-			continue
-		}
-		if q0 == nil {
-			q0 = d.q
-		} else if d.q != q0 {
+	for _, d := range ds[1:] {
+		if d.q != q0 {
 			mixed = true
+			break
 		}
-		claimed = append(claimed, d)
-	}
-	if len(claimed) == 0 {
-		return nil
 	}
 	if !mixed {
-		return q0.settleBatch(claimed, nack, requeue)
+		return q0.settleBatch(ds, nack, requeue)
 	}
 	byQueue := make(map[*queue][]*Delivery)
-	for _, d := range claimed {
+	for _, d := range ds {
 		byQueue[d.q] = append(byQueue[d.q], d)
 	}
 	var firstErr error
@@ -377,6 +467,8 @@ func (b *Broker) TotalStats() QueueStats {
 		tot.Nacked += s.Nacked
 		tot.Bytes += s.Bytes
 		tot.PeakBytes += s.PeakBytes
+		tot.Shards += s.Shards
+		tot.Steals += s.Steals
 		tot.PublishBatches += s.PublishBatches
 		tot.DeliverBatches += s.DeliverBatches
 		tot.AckBatches += s.AckBatches

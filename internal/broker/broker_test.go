@@ -26,6 +26,16 @@ func mustDeclare(t *testing.T, b *Broker, name string) {
 	}
 }
 
+// mustDeclareFIFO declares a single-shard queue: strict global FIFO across
+// every publish operation is a Shards: 1 guarantee (sharded queues keep
+// FIFO per shard / per producer — see shard_test.go).
+func mustDeclareFIFO(t *testing.T, b *Broker, name string) {
+	t.Helper()
+	if err := b.DeclareQueue(name, QueueOptions{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublishGetAck(t *testing.T) {
 	b := newTestBroker(t)
 	mustDeclare(t, b, "q")
@@ -80,7 +90,7 @@ func TestDoubleDeclareFails(t *testing.T) {
 
 func TestFIFOOrder(t *testing.T) {
 	b := newTestBroker(t)
-	mustDeclare(t, b, "q")
+	mustDeclareFIFO(t, b, "q")
 	for i := 0; i < 20; i++ {
 		if err := b.Publish("q", []byte{byte(i)}); err != nil {
 			t.Fatal(err)
@@ -100,7 +110,7 @@ func TestFIFOOrder(t *testing.T) {
 
 func TestNackRequeueGoesToFront(t *testing.T) {
 	b := newTestBroker(t)
-	mustDeclare(t, b, "q")
+	mustDeclareFIFO(t, b, "q")
 	b.Publish("q", []byte("a"))
 	b.Publish("q", []byte("b"))
 	d, _, _ := b.Get("q")
@@ -155,7 +165,7 @@ func TestDoubleAckFails(t *testing.T) {
 
 func TestConsumerReceivesPublished(t *testing.T) {
 	b := newTestBroker(t)
-	mustDeclare(t, b, "q")
+	mustDeclareFIFO(t, b, "q")
 	c, err := b.Consume("q", 4)
 	if err != nil {
 		t.Fatal(err)
@@ -366,7 +376,9 @@ func TestDurableRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := New(Options{Journal: j})
-	if err := b.DeclareQueue("pending", QueueOptions{Durable: true}); err != nil {
+	// Single shard: the test asserts strict recovery drain order; sharded
+	// replay is covered in shard_test.go.
+	if err := b.DeclareQueue("pending", QueueOptions{Durable: true, Shards: 1}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -392,7 +404,7 @@ func TestDurableRecover(t *testing.T) {
 	defer j2.Close()
 	b2 := New(Options{Journal: j2})
 	defer b2.Close()
-	b2.DeclareQueue("pending", QueueOptions{Durable: true})
+	b2.DeclareQueue("pending", QueueOptions{Durable: true, Shards: 1})
 	if err := b2.Recover(jpath); err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +444,8 @@ func TestConservationProperty(t *testing.T) {
 	f := func(bodies [][]byte) bool {
 		b := New(Options{})
 		defer b.Close()
-		b.DeclareQueue("q", QueueOptions{})
+		// Single shard: the property asserts strict global drain order.
+		b.DeclareQueue("q", QueueOptions{Shards: 1})
 		for _, body := range bodies {
 			if err := b.Publish("q", body); err != nil {
 				return false

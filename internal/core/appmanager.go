@@ -52,6 +52,14 @@ type Config struct {
 	// EmgrBatch bounds how many pending tasks the Emgr submits per RTS
 	// call. Defaults to 1024.
 	EmgrBatch int
+	// QueueShards is the number of independently locked ready rings backing
+	// the pending and done queues (the broker's multi-consumer scaling
+	// knob). 0 selects the broker default, min(GOMAXPROCS, 8); 1 restores
+	// the single-lock queue. The states and sync-ack queues always use one
+	// shard: the Synchronizer must observe state-transition requests in
+	// arrival order across components, which only a single-shard queue
+	// guarantees.
+	QueueShards int
 }
 
 func (c *Config) setDefaults() error {
@@ -456,17 +464,31 @@ func (am *AppManager) Run(ctx context.Context) error {
 	}
 
 	am.brk = broker.New(broker.Options{PerOpDelay: am.msgDelay})
-	queues := []string{QueuePending, QueueDone, QueueStates}
-	ackQueues := []string{
+	// The task-traffic queues (pending, done) take the shard knob: their
+	// messages are causally independent per task, so sharded rings are
+	// safe and let concurrent producers/consumers scale. The states queue
+	// and the sync-ack queues are pinned to one shard — the Synchronizer
+	// must apply transition requests in cross-component arrival order
+	// (SCHEDULED before DONE for the same stage), which is a strict-FIFO,
+	// single-shard guarantee.
+	sharded := []string{QueuePending, QueueDone}
+	ordered := []string{
+		QueueStates,
 		ackPrefix + "-enq", ackPrefix + "-deq", ackPrefix + "-emgr",
 		ackPrefix + "-cb", ackPrefix + "-hb",
 	}
-	for _, q := range append(append([]string{}, queues...), ackQueues...) {
-		if err := am.brk.DeclareQueue(q, broker.QueueOptions{}); err != nil {
+	for _, q := range sharded {
+		opts := broker.QueueOptions{Shards: am.cfg.QueueShards}
+		if err := am.brk.DeclareQueue(q, opts); err != nil {
 			return err
 		}
 	}
-	am.spawnCost(len(queues) + len(ackQueues)) // messaging infrastructure
+	for _, q := range ordered {
+		if err := am.brk.DeclareQueue(q, broker.QueueOptions{Shards: 1}); err != nil {
+			return err
+		}
+	}
+	am.spawnCost(len(sharded) + len(ordered)) // messaging infrastructure
 
 	// Spawn Synchronizer, WFProcessor (Enqueue, Dequeue) and ExecManager
 	// (Rmgr, Emgr, RTS Callback, Heartbeat): 2 components + 7

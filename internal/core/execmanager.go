@@ -202,9 +202,16 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 }
 
 // callbackLoop forwards one RTS instance's completions to the done queue,
-// coalescing bursts into one bulk message per drain.
+// coalescing bursts into one bulk message per drain. Each RTS generation
+// publishes through its own shard-pinned producer, so on a sharded done
+// queue the Dequeue subcomponent observes one generation's results in
+// publish order.
 func (e *execManager) callbackLoop(rts RTS) {
 	defer e.wg.Done()
+	doneP, err := e.am.brk.Producer(QueueDone)
+	if err != nil {
+		return // broker closed: tearing down
+	}
 	for res := range rts.Completions() {
 		results := []TaskResult{res}
 	drain:
@@ -228,7 +235,7 @@ func (e *execManager) callbackLoop(rts RTS) {
 		if err != nil {
 			continue
 		}
-		if err := e.am.brk.Publish(QueueDone, body); err != nil {
+		if err := doneP.Publish(body); err != nil {
 			return // broker closed: tearing down
 		}
 	}

@@ -99,15 +99,19 @@ func (f *fakeRTS) execute(desc TaskDescription) {
 		Started:  started,
 		Finished: f.clock.Now(),
 	}
+	// Log before delivering: once the result is on the channel the whole
+	// downstream chain (callback -> done queue -> dequeue -> next stage)
+	// can run and log successor tasks, so logging afterwards would make
+	// execLog's order unreliable for the ordering assertions.
+	f.mu.Lock()
+	f.execLog = append(f.execLog, desc.UID)
+	f.mu.Unlock()
 	select {
 	case f.completions <- res:
 		atomic.AddInt64(&f.completed, 1)
 		if exit != 0 {
 			atomic.AddInt64(&f.failed, 1)
 		}
-		f.mu.Lock()
-		f.execLog = append(f.execLog, desc.UID)
-		f.mu.Unlock()
 	case <-f.stopCh:
 	}
 }

@@ -33,6 +33,7 @@ type wfProcessor struct {
 
 	nudgeCh chan struct{}
 	doneC   *broker.Consumer
+	pendP   *broker.Producer
 	enqSync *syncClient
 	deqSync *syncClient
 
@@ -60,6 +61,12 @@ func (w *wfProcessor) start(ctx context.Context) error {
 	// Pull-mode consumer: Dequeue drains completions in batches, paying one
 	// broker round-trip per drained batch instead of one per message.
 	if w.doneC, err = w.am.brk.ConsumeBatch(QueueDone, dequeueBatch); err != nil {
+		return err
+	}
+	// Shard-pinned producer: on a sharded pending queue, everything Enqueue
+	// publishes lands on one shard in call order, so the Emgr observes this
+	// producer's messages in publish order (per-producer FIFO).
+	if w.pendP, err = w.am.brk.Producer(QueuePending); err != nil {
 		return err
 	}
 	// The fixed application-processing cost: translating the workflow into
@@ -234,19 +241,20 @@ func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
 			}
 			bodies = append(bodies, body)
 		}
-		if err := w.am.brk.PublishBatch(QueuePending, bodies); err != nil {
+		if err := w.pendP.PublishBatch(bodies); err != nil {
 			return err
 		}
 	}
 	if err := w.enqSync.stage(stage, StageScheduled); err != nil {
 		return err
 	}
-	if len(runnable) == 0 {
-		// Every task was already terminal (journal recovery): complete the
-		// stage immediately.
-		return w.maybeCompleteStage(p, stage, w.enqSync)
-	}
-	return nil
+	// Completion check under the stage's own sync client. This covers two
+	// cases: every task was already terminal before scheduling (journal
+	// recovery), and — the racier one — a fast Emgr/RTS/Dequeue chain
+	// finished every task while this stage was still SCHEDULING, in which
+	// case Dequeue deferred the completion to us (maybeCompleteStage skips
+	// stages the Enqueue transition still owns).
+	return w.maybeCompleteStage(p, stage, w.enqSync)
 }
 
 func (w *wfProcessor) dequeueLoop(ctx context.Context) {
@@ -394,7 +402,7 @@ func (w *wfProcessor) resubmit(t *Task) error {
 	if err != nil {
 		return err
 	}
-	return w.am.brk.Publish(QueuePending, body)
+	return w.pendP.Publish(body)
 }
 
 // maybeCompleteStage finishes a stage whose tasks are all terminal, runs its
@@ -404,6 +412,13 @@ func (w *wfProcessor) maybeCompleteStage(p *Pipeline, stage *Stage, sc *syncClie
 	defer w.am.completionMu.Unlock()
 
 	if stage.State().Terminal() {
+		return nil
+	}
+	if stage.State() == StageScheduling {
+		// Enqueue published the stage's tasks but its SCHEDULED transition
+		// is still in flight; completing now would race it with an illegal
+		// SCHEDULING -> DONE. Enqueue re-runs this check right after the
+		// stage lands in SCHEDULED, so the completion is never lost.
 		return nil
 	}
 	allTerminal, anyFailed, anyCanceled := stage.tasksTerminal()

@@ -57,6 +57,10 @@ type pstSpec struct {
 	Executable string
 	Duration   time.Duration
 	Staged     bool // stage the mdrun-style input files
+	// Batch, when non-zero, sets entk.AppConfig.BatchSize — the broker
+	// batched-hot-path knob the sweeps vary (1 restores the per-message
+	// path).
+	Batch int
 }
 
 // gromacsStaging returns the 4-file input set of the scaling experiments
@@ -80,6 +84,7 @@ func runPST(spec pstSpec, scale time.Duration) (profiler.Report, error) {
 		},
 		TimeScale:   scale,
 		TaskRetries: 2,
+		BatchSize:   spec.Batch,
 	})
 	if err != nil {
 		return profiler.Report{}, err
@@ -234,6 +239,12 @@ type ScalingRow struct {
 }
 
 func runScaling(tasks, cores int, scale time.Duration) (profiler.Report, error) {
+	return runScalingBatch(tasks, cores, 0, scale)
+}
+
+// runScalingBatch is runScaling with an explicit broker batch size (0 =
+// the stack default, 1 = the per-message path).
+func runScalingBatch(tasks, cores, batch int, scale time.Duration) (profiler.Report, error) {
 	am, err := entk.NewAppManager(entk.AppConfig{
 		Resource: entk.Resource{
 			Name:     "titan",
@@ -242,6 +253,7 @@ func runScaling(tasks, cores int, scale time.Duration) (profiler.Report, error) 
 		},
 		TimeScale:   scale,
 		TaskRetries: 2,
+		BatchSize:   batch,
 	})
 	if err != nil {
 		return profiler.Report{}, err
@@ -284,6 +296,43 @@ func Fig8WeakScaling(opts *Options) ([]ScalingRow, error) {
 			return nil, err
 		}
 		rows = append(rows, ScalingRow{Tasks: n, Cores: n, Report: rep})
+	}
+	return rows, nil
+}
+
+// BatchScalingRow is one point of the batched Fig 8-style sweep: a weak-
+// scaling run executed with a given broker BatchSize.
+type BatchScalingRow struct {
+	Batch  int
+	Tasks  int
+	Cores  int
+	Report profiler.Report
+}
+
+// Fig8BatchSweep reproduces the weak-scaling overhead curve across the
+// broker BatchSize grid, wiring entk.AppConfig.BatchSize into the sweep:
+// batch 1 is the paper's per-message messaging layer, larger batches move
+// the same workflow over the batched sharded hot path. Comparing rows of
+// equal task count isolates what broker amortization does to EnTK
+// management overhead (paper Figs 7-8).
+func Fig8BatchSweep(opts *Options) ([]BatchScalingRow, error) {
+	scale := opts.scaleOr(time.Millisecond)
+	batches := []int{1, 64, 1024}
+	sizes := []int{512, 1024}
+	if opts.quick() {
+		batches = []int{1, 64}
+		sizes = []int{64, 128}
+	}
+	var rows []BatchScalingRow
+	for _, batch := range batches {
+		for _, n := range sizes {
+			opts.logf("batch sweep: batch=%d, %d tasks / %d cores", batch, n, n)
+			rep, err := runScalingBatch(n, n, batch, scale)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, BatchScalingRow{Batch: batch, Tasks: n, Cores: n, Report: rep})
+		}
 	}
 	return rows, nil
 }

@@ -55,6 +55,53 @@ func TestFig6BatchedSmall(t *testing.T) {
 	}
 }
 
+func TestFig6GridSmall(t *testing.T) {
+	rows, err := Fig6Grid(8000, []int{1, 32}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 batches x 2 configs)", len(rows))
+	}
+	wantBatches := []int{1, 1, 32, 32}
+	for i, r := range rows {
+		gotBatch := r.Batch
+		if gotBatch == 0 {
+			gotBatch = 1
+		}
+		if gotBatch != wantBatches[i] {
+			t.Fatalf("row %d batch = %d, want %d", i, gotBatch, wantBatches[i])
+		}
+		if r.AggregateTime <= 0 {
+			t.Fatalf("non-positive aggregate time: %+v", r)
+		}
+		if r.DecodeFailures != 0 {
+			t.Fatalf("broker corrupted %d task objects: %+v", r.DecodeFailures, r)
+		}
+	}
+	if _, err := Fig6Grid(1000, []int{0}, nil); err == nil {
+		t.Fatal("batch=0 accepted")
+	}
+}
+
+func TestFig8BatchSweepQuick(t *testing.T) {
+	rows, err := Fig8BatchSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 batches x 2 sizes)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Report.TaskExecution <= 0 {
+			t.Fatalf("no task execution recorded: %+v", r)
+		}
+		if r.Batch != 1 && r.Batch != 64 {
+			t.Fatalf("unexpected batch %d", r.Batch)
+		}
+	}
+}
+
 func TestFig6Uneven(t *testing.T) {
 	rows, err := Fig6Uneven(5000)
 	if err != nil {
@@ -274,13 +321,15 @@ func TestRenderers(t *testing.T) {
 	var sb strings.Builder
 	RenderOverheads(&sb, "test", []OverheadRow{{Label: "x"}})
 	RenderScaling(&sb, "test", []ScalingRow{{Tasks: 1, Cores: 1}, {Tasks: 1, Cores: 2}})
-	RenderFig6(&sb, []Fig6Row{{Producers: 1, Consumers: 1, Queues: 1, Tasks: 10}})
+	RenderFig6(&sb, []Fig6Row{{Producers: 1, Consumers: 1, Queues: 1, Tasks: 10, DecodeFailures: 2}})
+	RenderBatchSweep(&sb, []BatchScalingRow{{Batch: 64, Tasks: 1, Cores: 1}})
 	RenderFig10(&sb, []Fig10Row{{Tasks: 1, Concurrency: 1}})
 	RenderFig11(&sb, &Fig11Result{Repetitions: 1, Budget: 1, GridPixels: 100,
 		AUAErrors: []float64{1}, RandomErrors: []float64{2},
 		AUAConvergence: []float64{1}, RandomConvergence: []float64{2}})
 	out := sb.String()
-	for _, want := range []string{"entk_setup", "speedup", "peak_MB", "attempts", "median"} {
+	for _, want := range []string{"entk_setup", "speedup", "peak_MB", "attempts", "median",
+		"failed to decode", "batch sweep"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendered output missing %q", want)
 		}

@@ -27,6 +27,12 @@ type Fig6Row struct {
 	AggregateTime time.Duration // end-to-end wall time
 	BaseMemMB     float64       // heap after component instantiation
 	PeakMemMB     float64       // peak heap during the run
+
+	// DecodeFailures counts consumer-side task objects that failed to
+	// unmarshal. The prototype publishes only well-formed JSON, so any
+	// non-zero value means the broker corrupted or truncated a message —
+	// a correctness signal the original benchmark silently discarded.
+	DecodeFailures int
 }
 
 // fig6Task is the task object pushed through the queues, shaped like an
@@ -83,6 +89,38 @@ func Fig6Batched(tasks, batch int, configs []int) ([]Fig6Row, error) {
 			return nil, err
 		}
 		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Grid runs the BatchSize x consumer-count grid: for every batch size
+// in batches (1 = the per-message path) and every even configuration n in
+// configs (n producers, n consumers, n queues), one prototype run. It is
+// the experiment behind the batched Fig 7/8-style overhead curves: sweeping
+// both axes shows how broker amortization interacts with consumer
+// parallelism on the sharded ready rings.
+func Fig6Grid(tasks int, batches, configs []int) ([]Fig6Row, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive task count")
+	}
+	if len(batches) == 0 {
+		batches = []int{1, 64, 1024}
+	}
+	if len(configs) == 0 {
+		configs = []int{1, 2, 4, 8}
+	}
+	var rows []Fig6Row
+	for _, batch := range batches {
+		if batch < 1 {
+			return nil, fmt.Errorf("experiments: non-positive batch size %d", batch)
+		}
+		for _, n := range configs {
+			row, err := fig6Run(tasks, n, n, n, batch)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
 	}
 	return rows, nil
 }
@@ -204,6 +242,7 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 	}
 
 	var consumed atomic.Int64
+	var decodeFailures atomic.Int64
 	allDone := make(chan struct{})
 	var doneOnce sync.Once
 	done := func(n int) {
@@ -228,10 +267,13 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 						if !ok {
 							return
 						}
-						// "Empty RTS module": decode and drop.
+						// "Empty RTS module": decode and drop, counting
+						// (rather than swallowing) decode failures.
 						var t fig6Task
-						json.Unmarshal(d.Body, &t) //nolint:errcheck
-						d.Ack()                    //nolint:errcheck
+						if err := json.Unmarshal(d.Body, &t); err != nil {
+							decodeFailures.Add(1)
+						}
+						d.Ack() //nolint:errcheck
 						done(1)
 					case <-allDone:
 						return
@@ -251,10 +293,13 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 				if err != nil {
 					return // broker closed: run over
 				}
-				// "Empty RTS module": decode and drop.
+				// "Empty RTS module": decode and drop, counting (rather
+				// than swallowing) decode failures.
 				for _, d := range ds {
 					var t fig6Task
-					json.Unmarshal(d.Body, &t) //nolint:errcheck
+					if err := json.Unmarshal(d.Body, &t); err != nil {
+						decodeFailures.Add(1)
+					}
 				}
 				broker.AckBatch(ds) //nolint:errcheck
 				done(len(ds))
@@ -270,5 +315,6 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 	b.Close()
 	consumerWG.Wait()
 	row.PeakMemMB = stopSampler()
+	row.DecodeFailures = int(decodeFailures.Load())
 	return row, nil
 }

@@ -51,17 +51,42 @@ func RenderScaling(w io.Writer, title string, rows []ScalingRow) {
 	}
 }
 
-// RenderFig6 prints the prototype benchmark table.
+// RenderFig6 prints the prototype benchmark table. The batch column shows
+// the broker batch size (1 = per-message path); decode failures are
+// reported whenever a run saw any.
 func RenderFig6(w io.Writer, rows []Fig6Row) {
 	title := "Fig 6: EnTK prototype, producers/consumers over the broker"
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
-	fmt.Fprintf(w, "%6s %6s %6s %10s %12s %12s %12s %10s %10s\n",
-		"prod", "cons", "queues", "tasks", "prod_time", "cons_time", "aggregate", "base_MB", "peak_MB")
+	fmt.Fprintf(w, "%6s %6s %6s %6s %10s %12s %12s %12s %10s %10s\n",
+		"prod", "cons", "queues", "batch", "tasks", "prod_time", "cons_time", "aggregate", "base_MB", "peak_MB")
+	failures := 0
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %6d %6d %10d %12v %12v %12v %10.1f %10.1f\n",
-			r.Producers, r.Consumers, r.Queues, r.Tasks,
+		batch := r.Batch
+		if batch == 0 {
+			batch = 1
+		}
+		fmt.Fprintf(w, "%6d %6d %6d %6d %10d %12v %12v %12v %10.1f %10.1f\n",
+			r.Producers, r.Consumers, r.Queues, batch, r.Tasks,
 			r.ProducerTime.Round(1e6), r.ConsumerTime.Round(1e6),
 			r.AggregateTime.Round(1e6), r.BaseMemMB, r.PeakMemMB)
+		failures += r.DecodeFailures
+	}
+	if failures > 0 {
+		fmt.Fprintf(w, "WARNING: %d task objects failed to decode on the consumer side\n", failures)
+	}
+}
+
+// RenderBatchSweep prints the BatchSize x scale grid of Fig8BatchSweep.
+func RenderBatchSweep(w io.Writer, rows []BatchScalingRow) {
+	title := "Fig 8 batch sweep: weak-scaling overheads vs broker BatchSize"
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%8s %8s %8s %12s %12s %12s %12s\n",
+		"batch", "tasks", "cores", "task_exec", "staging", "entk_mgmt", "rts_ovh")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8d %8d %12.2f %12.2f %12.2f %12.2f\n",
+			r.Batch, r.Tasks, r.Cores,
+			r.Report.TaskExecution, r.Report.DataStaging,
+			r.Report.EnTKManagement, r.Report.RTSOverhead)
 	}
 }
 

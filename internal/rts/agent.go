@@ -59,15 +59,23 @@ func newAgent(r *PilotRTS, cores, gpus int) *agent {
 }
 
 // run starts the scheduler loop and the staging workers; it returns when
-// the store closes.
+// the store closes. Starting is serialized against stopAndWait through
+// a.mu: a stop that wins the race suppresses the start entirely, so the
+// WaitGroups can never be Added after they are Waited on.
 func (a *agent) run() {
 	a.ranOnce.Do(func() {
+		a.mu.Lock()
+		if a.stopping {
+			a.mu.Unlock()
+			return
+		}
 		for i := 0; i < a.rts.model.Stagers; i++ {
 			a.stageWG.Add(1)
 			go a.stagerLoop()
 		}
 		a.wg.Add(1)
 		go a.schedulerLoop()
+		a.mu.Unlock()
 	})
 }
 

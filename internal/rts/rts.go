@@ -43,6 +43,10 @@ type Config struct {
 	Faults FaultPlan
 	// StorePath, when non-empty, journals the task store.
 	StorePath string
+	// QueueShards shards the task store's ready storage the same way the
+	// EnTK broker queues are sharded (0 = min(GOMAXPROCS, 8), 1 = single
+	// lock), so a future multi-scheduler agent can drain it concurrently.
+	QueueShards int
 }
 
 // PilotRTS is the pilot-based runtime system implementing core.RTS.
@@ -125,7 +129,7 @@ func (r *PilotRTS) Start(ctx context.Context) error {
 		}
 		r.jrn = j
 	}
-	r.store = newStore(r.jrn)
+	r.store = newStore(r.jrn, r.cfg.QueueShards)
 
 	res := r.cfg.Resource
 	pilot, err := r.cfg.Session.Submit(res.Resource, saga.JobDescription{

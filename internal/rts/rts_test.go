@@ -392,7 +392,7 @@ func TestEndToEndWithEnTK(t *testing.T) {
 }
 
 func TestStorePushPull(t *testing.T) {
-	s := newStore(nil)
+	s := newStore(nil, 0)
 	if err := s.Push([]core.TaskDescription{{UID: "a"}, {UID: "b"}}); err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestStorePushPull(t *testing.T) {
 }
 
 func TestStorePullBlocksUntilPush(t *testing.T) {
-	s := newStore(nil)
+	s := newStore(nil, 0)
 	got := make(chan string, 1)
 	go func() {
 		d, ok := s.Pull()

@@ -2,7 +2,9 @@ package rts
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/journal"
 )
@@ -10,23 +12,63 @@ import (
 // store is the task mailbox between the UnitManager and the Agent — the
 // role MongoDB plays in RADICAL-Pilot ("The UnitManager schedules each task
 // to an Agent via a queue on a MongoDB instance. Each Agent pulls its tasks
-// from the DB module"). It is a FIFO with blocking pull and optional
-// journal-backed durability.
+// from the DB module"). Like the broker's queues it is sharded: each Push
+// lands its batch on one independently locked shard, round-robin, and
+// pullers drain the shard whose front batch carries the lowest push
+// sequence. With today's single scheduler that reproduces strict push-order
+// FIFO exactly; the sharding is the same scaling structure the broker uses,
+// ready for a multi-scheduler agent to drain shards concurrently. It is a
+// blocking-pull FIFO with optional journal-backed durability.
 type store struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []core.TaskDescription
-	closed bool
+	shards  []*storeShard
+	pushSeq atomic.Uint64 // batch sequence, also the round-robin cursor
+
+	notifyMu sync.Mutex
+	cond     *sync.Cond
+	closed   atomic.Bool
 
 	jrn *journal.Journal // optional
 
-	pushed uint64
-	pulled uint64
+	pushed atomic.Uint64
+	pulled atomic.Uint64
 }
 
-func newStore(jrn *journal.Journal) *store {
-	s := &store{jrn: jrn}
-	s.cond = sync.NewCond(&s.mu)
+// storeBatch is one Push call's tasks, stamped with its push sequence.
+type storeBatch struct {
+	seq   uint64
+	tasks []core.TaskDescription
+}
+
+// storeShard is one independently locked slice of the store's queue.
+type storeShard struct {
+	mu      sync.Mutex
+	batches []storeBatch
+	// headSeq mirrors the sequence of the front batch (0 = empty) so
+	// pullers can pick a shard lock-free.
+	headSeq atomic.Uint64
+	depth   atomic.Int64
+}
+
+func (s *storeShard) syncHeadLocked() {
+	if len(s.batches) == 0 {
+		s.headSeq.Store(0)
+		return
+	}
+	s.headSeq.Store(s.batches[0].seq)
+}
+
+func newStore(jrn *journal.Journal, shards int) *store {
+	if shards == 0 {
+		shards = broker.DefaultShards()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s := &store{jrn: jrn, shards: make([]*storeShard, shards)}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{}
+	}
+	s.cond = sync.NewCond(&s.notifyMu)
 	return s
 }
 
@@ -39,7 +81,7 @@ type storeRec struct {
 	Op   string   `json:"op"` // "push" | "pull"
 }
 
-func (s *store) journalLocked(op string, tasks []core.TaskDescription) error {
+func (s *store) journalOp(op string, tasks []core.TaskDescription) error {
 	if s.jrn == nil || len(tasks) == 0 {
 		return nil
 	}
@@ -51,80 +93,135 @@ func (s *store) journalLocked(op string, tasks []core.TaskDescription) error {
 	return err
 }
 
-// Push appends task descriptions, journaling the batch as one record.
+// Push appends task descriptions as one sequence-stamped batch on the next
+// round-robin shard, journaling the batch as one record.
 func (s *store) Push(tasks []core.TaskDescription) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return errStoreClosed
 	}
-	if err := s.journalLocked("push", tasks); err != nil {
+	if err := s.journalOp("push", tasks); err != nil {
 		return err
 	}
-	s.queue = append(s.queue, tasks...)
-	s.pushed += uint64(len(tasks))
+	seq := s.pushSeq.Add(1)
+	sh := s.shards[int((seq-1)%uint64(len(s.shards)))]
+	sh.mu.Lock()
+	// Copy so later caller mutations of the slice cannot reach the queue.
+	batch := storeBatch{seq: seq, tasks: append([]core.TaskDescription(nil), tasks...)}
+	sh.batches = append(sh.batches, batch)
+	sh.depth.Add(int64(len(tasks)))
+	sh.syncHeadLocked()
+	sh.mu.Unlock()
+	s.pushed.Add(uint64(len(tasks)))
+	s.notifyMu.Lock()
 	s.cond.Broadcast()
+	s.notifyMu.Unlock()
 	return nil
+}
+
+// minShard returns the shard whose front batch has the lowest push
+// sequence, or nil when all shards look empty.
+func (s *store) minShard() *storeShard {
+	var best *storeShard
+	var bestSeq uint64
+	for _, sh := range s.shards {
+		if seq := sh.headSeq.Load(); seq != 0 && (best == nil || seq < bestSeq) {
+			best, bestSeq = sh, seq
+		}
+	}
+	return best
+}
+
+// popBatch pops up to max tasks from the oldest batch, under that shard's
+// lock. ok=false means every shard was empty at the time of the scan.
+func (s *store) popBatch(max int) ([]core.TaskDescription, bool) {
+	for {
+		sh := s.minShard()
+		if sh == nil {
+			return nil, false
+		}
+		sh.mu.Lock()
+		if len(sh.batches) == 0 {
+			sh.mu.Unlock()
+			continue // raced with a concurrent puller; rescan
+		}
+		front := &sh.batches[0]
+		n := max
+		if len(front.tasks) < n {
+			n = len(front.tasks)
+		}
+		out := front.tasks[:n:n]
+		front.tasks = front.tasks[n:]
+		if len(front.tasks) == 0 {
+			sh.batches[0] = storeBatch{}
+			sh.batches = sh.batches[1:]
+		}
+		sh.depth.Add(-int64(n))
+		sh.syncHeadLocked()
+		sh.mu.Unlock()
+		s.pulled.Add(uint64(n))
+		return out, true
+	}
+}
+
+// waitReady blocks until a task is available or the store closes; it
+// reports whether tasks may be available.
+func (s *store) waitReady() bool {
+	s.notifyMu.Lock()
+	for s.Depth() == 0 && !s.closed.Load() {
+		s.cond.Wait()
+	}
+	s.notifyMu.Unlock()
+	return s.Depth() > 0 || !s.closed.Load()
 }
 
 // Pull blocks until a task is available or the store closes (ok=false).
 func (s *store) Pull() (core.TaskDescription, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.closed {
-		s.cond.Wait()
-	}
-	if len(s.queue) == 0 {
+	batch, ok := s.PullBatch(1)
+	if !ok || len(batch) == 0 {
 		return core.TaskDescription{}, false
 	}
-	t := s.queue[0]
-	s.queue = s.queue[1:]
-	s.pulled++
-	s.journalLocked("pull", []core.TaskDescription{t}) //nolint:errcheck
-	return t, true
+	return batch[0], true
 }
 
 // PullBatch blocks until at least one task is available, then pops up to
-// max tasks under one lock acquisition and one journal append — the Agent's
-// side of the batched hot path. ok=false means the store closed.
+// max tasks under one shard-lock acquisition and one journal append — the
+// Agent's side of the batched hot path. ok=false means the store closed.
 func (s *store) PullBatch(max int) ([]core.TaskDescription, bool) {
 	if max <= 0 {
 		max = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.closed {
-		s.cond.Wait()
+	for {
+		if s.closed.Load() && s.Depth() == 0 {
+			return nil, false
+		}
+		batch, ok := s.popBatch(max)
+		if ok {
+			s.journalOp("pull", batch) //nolint:errcheck
+			return batch, true
+		}
+		if s.closed.Load() {
+			return nil, false
+		}
+		s.waitReady()
 	}
-	if len(s.queue) == 0 {
-		return nil, false
-	}
-	n := max
-	if len(s.queue) < n {
-		n = len(s.queue)
-	}
-	batch := make([]core.TaskDescription, n)
-	copy(batch, s.queue[:n])
-	s.queue = s.queue[n:]
-	s.pulled += uint64(n)
-	s.journalLocked("pull", batch) //nolint:errcheck
-	return batch, true
 }
 
 // Depth returns the number of queued tasks.
 func (s *store) Depth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.queue)
+	var t int64
+	for _, sh := range s.shards {
+		t += sh.depth.Load()
+	}
+	return int(t)
 }
 
 // Close releases blocked pullers; queued tasks are dropped (a dead RTS
 // loses its in-flight tasks, which EnTK resubmits).
 func (s *store) Close() {
-	s.mu.Lock()
-	s.closed = true
+	s.closed.Store(true)
+	s.notifyMu.Lock()
 	s.cond.Broadcast()
-	s.mu.Unlock()
+	s.notifyMu.Unlock()
 }
 
 type storeClosedError struct{}
