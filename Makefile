@@ -6,9 +6,11 @@
 GO ?= go
 
 # The benchmark subset tracked by the regression gate: the broker hot-path
-# pipelines and the multi-consumer ablation. Stable, fast, and the numbers
-# this repo's PRs argue about.
-BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers)
+# pipelines, the multi-consumer ablation, and the run-control event-stream
+# overhead (events-off must stay the no-subscriber fast path; events-on
+# within ~10% of it). Stable, fast, and the numbers this repo's PRs argue
+# about.
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkEventStreamOverhead)
 
 .PHONY: build test bench lint bench-json bench-gate bench-baseline
 

@@ -17,7 +17,13 @@
 //
 // Run with:
 //
-//	entk-run -app app.json [-scale 1ms] [-v] [-check]
+//	entk-run -app app.json [-scale 1ms] [-v] [-check] [-progress] [-cancel name]
+//
+// -progress streams the run's lifecycle transitions live (stage and
+// pipeline events, plus task events with -v) and periodic completion
+// counts from the run handle's Snapshot. -cancel cancels the named
+// pipeline shortly after the run starts — its entities reach terminal
+// CANCELED states while sibling pipelines execute to completion.
 package main
 
 import (
@@ -29,15 +35,18 @@ import (
 
 	"repro/entk"
 	"repro/internal/appjson"
+	"repro/internal/vclock"
 )
 
 func main() {
 	var (
-		appPath = flag.String("app", "", "path to the JSON application description (required)")
-		scale   = flag.Duration("scale", time.Millisecond, "wall time per virtual second")
-		verbose = flag.Bool("v", false, "print per-entity final states")
-		timeout = flag.Duration("timeout", 10*time.Minute, "wall-clock execution timeout")
-		check   = flag.Bool("check", false, "validate the application description and exit")
+		appPath  = flag.String("app", "", "path to the JSON application description (required)")
+		scale    = flag.Duration("scale", time.Millisecond, "wall time per virtual second")
+		verbose  = flag.Bool("v", false, "print per-entity final states (with -progress: also task events)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "wall-clock execution timeout")
+		check    = flag.Bool("check", false, "validate the application description and exit")
+		progress = flag.Bool("progress", false, "stream live lifecycle transitions and progress")
+		cancelP  = flag.String("cancel", "", "cancel the named pipeline shortly after start")
 	)
 	flag.Parse()
 	if *appPath == "" {
@@ -87,10 +96,39 @@ func main() {
 	fmt.Printf("executing %d pipelines / %d tasks on %s (%d cores)\n",
 		len(pipes), total, desc.Resource.Name, desc.Resource.Cores)
 
+	// Subscribe before Start so the stream observes the very first
+	// transition; the bounded ring means a slow terminal can never stall
+	// the scheduler (late events are dropped and counted instead).
+	var sub *entk.EventSub
+	if *progress {
+		kinds := []entk.EventKind{entk.EventStage, entk.EventPipeline}
+		if *verbose {
+			kinds = append(kinds, entk.EventTask)
+		}
+		sub = am.Subscribe(entk.EventFilter{Kinds: kinds})
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	start := time.Now()
-	runErr := am.Run(ctx)
+	run, runErr := am.Start(ctx)
+	if runErr == nil {
+		if *cancelP != "" {
+			go cancelByName(run, pipes, *cancelP)
+		}
+		if sub != nil {
+			streamDone := make(chan struct{})
+			go func() {
+				defer close(streamDone)
+				renderEvents(run, sub)
+			}()
+			runErr = run.Wait()
+			<-streamDone
+			fmt.Printf("event stream: %d dropped (slow-subscriber policy)\n", sub.Dropped())
+		} else {
+			runErr = run.Wait()
+		}
+	}
 	wall := time.Since(start)
 
 	rep := am.Report()
@@ -118,6 +156,41 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// renderEvents prints each lifecycle transition as it commits, with a
+// progress line from the run handle's snapshot whenever a stage or
+// pipeline reaches a terminal state.
+func renderEvents(run *entk.Run, sub *entk.EventSub) {
+	for ev := range sub.C() {
+		vsec := ev.VTime.Sub(vclock.Epoch).Seconds()
+		fmt.Printf("[%10.1fs] %-8s %-24s %s -> %s\n", vsec, ev.Kind, ev.Name, ev.From, ev.To)
+		if ev.Terminal() && ev.Kind != entk.EventTask {
+			snap := run.Snapshot()
+			fmt.Printf("[%10.1fs] progress  %d/%d tasks done (%d failed, %d canceled), %d/%d cores busy\n",
+				vsec, snap.TasksDone, snap.TasksTotal, snap.TasksFailed, snap.TasksCanceled,
+				snap.Utilization.CoresBusy, snap.Utilization.CoresTotal)
+		}
+	}
+}
+
+// cancelByName cancels the pipeline with the given name once it has tasks
+// in flight, demonstrating partial cancellation: the pipeline lands in
+// CANCELED while its siblings run to completion.
+func cancelByName(run *entk.Run, pipes []*entk.Pipeline, name string) {
+	for _, p := range pipes {
+		if p.Name != name {
+			continue
+		}
+		time.Sleep(50 * time.Millisecond)
+		if err := run.CancelPipeline(p.UID); err != nil {
+			fmt.Fprintf(os.Stderr, "entk-run: cancel %s: %v\n", name, err)
+		} else {
+			fmt.Printf("canceled pipeline %q (siblings keep running)\n", name)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "entk-run: -cancel: no pipeline named %q\n", name)
 }
 
 func fatal(err error) {

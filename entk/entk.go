@@ -20,7 +20,28 @@
 //		Name: "titan", Cores: 512, Walltime: 2 * time.Hour,
 //	}})
 //	am.AddPipelines(p)
-//	err := am.Run(context.Background())
+//
+//	run, err := am.Start(context.Background())
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	events, cancel := run.Events(entk.EventFilter{
+//		Kinds: []entk.EventKind{entk.EventStage, entk.EventPipeline},
+//	})
+//	go func() {
+//		for ev := range events {
+//			log.Printf("%s %s: %s -> %s", ev.Kind, ev.Name, ev.From, ev.To)
+//		}
+//	}()
+//	err = run.Wait()
+//	cancel()
+//
+// Start returns a run handle that exposes the live execution: Wait blocks
+// to completion, Snapshot reports per-entity progress and pilot
+// utilization, Events streams typed state transitions, Pause/Resume gate
+// individual pipelines, and Cancel/CancelPipeline abort the run or one
+// pipeline. Run(ctx) remains as a blocking Start+Wait convenience. An
+// AppManager is single-shot: a second Start or Run returns ErrAlreadyRan.
 //
 // All pipelines execute concurrently; stages within a pipeline execute
 // sequentially; tasks within a stage execute concurrently. Stage.PostExec
@@ -30,6 +51,7 @@ package entk
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -69,15 +91,47 @@ type (
 	StageState = core.StageState
 	// PipelineState is a pipeline's lifecycle state.
 	PipelineState = core.PipelineState
+	// Event is one committed lifecycle transition, streamed by Run.Events.
+	Event = core.Event
+	// EventKind classifies events by entity (task, stage, pipeline).
+	EventKind = core.EventKind
+	// EventFilter selects which events a subscription receives and sizes
+	// its bounded buffer (see the core type for the backpressure contract).
+	EventFilter = core.EventFilter
+	// EventSub is a live subscription handle with a Dropped counter.
+	EventSub = core.EventSub
+	// Progress is the point-in-time run view returned by Run.Snapshot.
+	Progress = core.Progress
+	// PipelineProgress is one pipeline's slice of a Progress snapshot.
+	PipelineProgress = core.PipelineProgress
+	// Utilization reports pilot occupancy inside a Progress snapshot.
+	Utilization = core.Utilization
+	// CancelError is the error a run finishes with after Run.Cancel.
+	CancelError = core.CancelError
 )
+
+// Event kinds.
+const (
+	EventTask     = core.EventTask
+	EventStage    = core.EventStage
+	EventPipeline = core.EventPipeline
+)
+
+// ErrAlreadyRan is returned by Start (and Run) when the AppManager has
+// already executed; AppManagers are single-shot.
+var ErrAlreadyRan = core.ErrAlreadyRan
 
 // Re-exported state constants (the commonly inspected ones).
 const (
-	TaskDone     = core.TaskDone
-	TaskFailed   = core.TaskFailed
-	TaskCanceled = core.TaskCanceled
-	StageDone    = core.StageDone
-	PipelineDone = core.PipelineDone
+	TaskDone          = core.TaskDone
+	TaskFailed        = core.TaskFailed
+	TaskCanceled      = core.TaskCanceled
+	StageInitial      = core.StageInitial
+	StageDone         = core.StageDone
+	StageCanceled     = core.StageCanceled
+	PipelineDone      = core.PipelineDone
+	PipelineSuspended = core.PipelineSuspended
+	PipelineCanceled  = core.PipelineCanceled
 )
 
 // Staging actions.
@@ -190,6 +244,10 @@ type AppManager struct {
 	cluster  *hpc.Cluster
 	clusters []*hpc.Cluster // extra CIs for heterogeneous execution
 	fs       *fsim.FS
+
+	// teardownOnce makes the cluster/session teardown idempotent; the run
+	// handle returned by Start owns triggering it.
+	teardownOnce sync.Once
 }
 
 // NewAppManager assembles the full stack for cfg.
@@ -387,16 +445,103 @@ func (a *AppManager) AddPipelineGroups(groups ...[]*Pipeline) error {
 	return a.inner.AddPipelineGroups(groups...)
 }
 
-// Run executes the application to completion.
-func (a *AppManager) Run(ctx context.Context) error {
-	defer a.cluster.Close()
-	defer a.session.Close()
-	defer func() {
+// Run is a wrapper over core.Run that owns the infrastructure teardown.
+// It is returned by Start and is the only way to observe and steer a live
+// execution: Wait, Cancel, Snapshot, Events/Subscribe, Pause/Resume and
+// CancelPipeline all operate on the run this handle represents. The handle
+// is the single owner of cluster/session teardown — Wait releases the
+// simulated CI resources exactly once, however many times it is called.
+type Run struct {
+	a     *AppManager
+	inner *core.Run
+}
+
+// teardown closes the simulated infrastructure (cluster, SAGA session,
+// extra CIs). Idempotent.
+func (a *AppManager) teardown() {
+	a.teardownOnce.Do(func() {
+		a.cluster.Close()
+		a.session.Close()
 		for _, c := range a.clusters {
 			c.Close()
 		}
-	}()
-	return a.inner.Run(ctx)
+	})
+}
+
+// Start executes the application in the background and returns its run
+// handle. Setup (validation, messaging, component spawn, pilot submission)
+// happens synchronously; on setup failure the infrastructure is torn down
+// and the error returned. A second Start (or Run) returns ErrAlreadyRan.
+func (a *AppManager) Start(ctx context.Context) (*Run, error) {
+	inner, err := a.inner.Start(ctx)
+	if err != nil {
+		if !errors.Is(err, core.ErrAlreadyRan) {
+			a.teardown()
+		}
+		return nil, err
+	}
+	return &Run{a: a, inner: inner}, nil
+}
+
+// Wait blocks until the run finishes (all pipelines terminal, or the run
+// canceled/failed), tears down the engine and the simulated infrastructure,
+// and returns the run's error. Safe to call repeatedly and concurrently.
+func (r *Run) Wait() error {
+	err := r.inner.Wait()
+	r.a.teardown()
+	return err
+}
+
+// Done returns a channel closed when the engine side of the run finishes.
+// Call Wait (from any goroutine) to release the infrastructure.
+func (r *Run) Done() <-chan struct{} { return r.inner.Done() }
+
+// Cancel aborts the whole run; Wait then returns a *CancelError carrying
+// reason (it unwraps to context.Canceled).
+func (r *Run) Cancel(reason string) { r.inner.Cancel(reason) }
+
+// Snapshot returns a point-in-time Progress view: per-state entity counts,
+// per-pipeline cursors, task attempts, pilot utilization, virtual clock.
+func (r *Run) Snapshot() Progress { return r.inner.Snapshot() }
+
+// Events returns a filtered stream of lifecycle transitions and a cancel
+// function. The stream is bounded and drop-oldest: a stalled consumer never
+// back-pressures the engine (see docs/api.md for the full contract). To
+// observe the Dropped counter, use Subscribe.
+func (r *Run) Events(f EventFilter) (<-chan Event, func()) { return r.inner.Events(f) }
+
+// Subscribe attaches a typed event subscription with an inspectable handle.
+func (r *Run) Subscribe(f EventFilter) *EventSub { return r.inner.Subscribe(f) }
+
+// Pause suspends one pipeline at the next stage boundary: the stage in
+// flight finishes, no further stage starts until Resume.
+func (r *Run) Pause(pipelineUID string) error { return r.inner.Pause(pipelineUID) }
+
+// Resume reactivates a paused pipeline.
+func (r *Run) Resume(pipelineUID string) error { return r.inner.Resume(pipelineUID) }
+
+// CancelPipeline cancels one pipeline while its siblings keep executing;
+// the pipeline and its stages and tasks reach terminal CANCELED states.
+func (r *Run) CancelPipeline(pipelineUID string) error {
+	return r.inner.CancelPipeline(pipelineUID)
+}
+
+// Subscribe attaches a typed event subscription before or during execution.
+// Subscriptions taken before Start are guaranteed to observe the run's very
+// first transition.
+func (a *AppManager) Subscribe(f EventFilter) *EventSub { return a.inner.Subscribe(f) }
+
+// Snapshot returns a Progress view of the application (valid before,
+// during and after execution).
+func (a *AppManager) Snapshot() Progress { return a.inner.Snapshot() }
+
+// Run executes the application to completion: a thin Start+Wait wrapper.
+func (a *AppManager) Run(ctx context.Context) error {
+	run, err := a.Start(ctx)
+	if err != nil {
+		return err
+	}
+	return run.Wait()
 }
 
 // Report returns the paper-style overhead decomposition of the run.

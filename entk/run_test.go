@@ -1,0 +1,193 @@
+package entk
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func startSmallApp(t *testing.T, tasks int, dur time.Duration) (*AppManager, *Pipeline, *Run) {
+	t.Helper()
+	am, err := NewAppManager(AppConfig{
+		Resource:  Resource{Name: "supermic", Cores: 8, Walltime: time.Hour},
+		TimeScale: 50 * time.Microsecond,
+		HostName:  "null",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := smallApp(tasks, dur)
+	if err := am.AddPipelines(pipe); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	run, err := am.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return am, pipe, run
+}
+
+func TestStartWaitHandle(t *testing.T) {
+	am, pipe, run := startSmallApp(t, 6, 10*time.Second)
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if pipe.State() != PipelineDone {
+		t.Fatalf("pipeline state = %s", pipe.State())
+	}
+	snap := run.Snapshot()
+	if snap.TasksDone != 6 || snap.TasksTotal != 6 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	// Second start is rejected with the sentinel; teardown stays idempotent
+	// (Wait again, Run again — no panic, no double close).
+	if _, err := am.Start(context.Background()); !errors.Is(err, ErrAlreadyRan) {
+		t.Fatalf("second Start: %v", err)
+	}
+	if err := am.Run(context.Background()); !errors.Is(err, ErrAlreadyRan) {
+		t.Fatalf("Run after Start: %v", err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHandleEventStreamAndUtilization(t *testing.T) {
+	am, err := NewAppManager(AppConfig{
+		Resource:  Resource{Name: "supermic", Cores: 4, Walltime: time.Hour},
+		TimeScale: 50 * time.Microsecond,
+		HostName:  "null",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := smallApp(8, 20*time.Second) // 8 tasks on 4 cores: two waves
+	if err := am.AddPipelines(pipe); err != nil {
+		t.Fatal(err)
+	}
+	sub := am.Subscribe(EventFilter{Kinds: []EventKind{EventTask}})
+	run, err := am.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawBusy := false
+	done := make(chan int)
+	go func() {
+		finals := 0
+		for ev := range sub.C() {
+			if ev.To == string(TaskDone) {
+				finals++
+			}
+			if u := run.Snapshot().Utilization; u.CoresBusy > 0 {
+				sawBusy = true
+			}
+		}
+		done <- finals
+	}()
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if finals := <-done; finals != 8 {
+		t.Fatalf("saw %d DONE task events, want 8", finals)
+	}
+	if !sawBusy {
+		t.Fatal("snapshot never reported busy pilot cores during execution")
+	}
+	u := run.Snapshot().Utilization
+	if u.CoresTotal != 4 || u.CoresBusy != 0 {
+		t.Fatalf("post-run utilization %+v", u)
+	}
+}
+
+func TestCancelPipelinePublicAPI(t *testing.T) {
+	am, err := NewAppManager(AppConfig{
+		Resource:  Resource{Name: "comet", Cores: 8, Walltime: time.Hour},
+		TimeScale: 50 * time.Microsecond,
+		HostName:  "null",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := smallApp(2, 2*time.Hour) // ~360ms of wall time if left alone
+	quick := smallApp(2, 10*time.Second)
+	if err := am.AddPipelines(stuck, quick); err != nil {
+		t.Fatal(err)
+	}
+	run, err := am.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := run.CancelPipeline(stuck.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatalf("run errored after pipeline cancel: %v", err)
+	}
+	if stuck.State() != PipelineCanceled {
+		t.Fatalf("canceled pipeline state = %s", stuck.State())
+	}
+	if quick.State() != PipelineDone {
+		t.Fatalf("sibling state = %s", quick.State())
+	}
+}
+
+func TestPauseResumePublicAPI(t *testing.T) {
+	am, err := NewAppManager(AppConfig{
+		Resource:  Resource{Name: "comet", Cores: 4, Walltime: time.Hour},
+		TimeScale: 50 * time.Microsecond,
+		HostName:  "null",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline("two-stage")
+	for i := 0; i < 2; i++ {
+		s := NewStage("s")
+		task := NewTask("t")
+		task.Executable = "sleep"
+		task.Duration = 5 * time.Second
+		if err := s.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+		if err := pipe.AddStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runCh := make(chan *Run, 1)
+	paused := make(chan error, 1)
+	pipe.Stages()[0].PostExec = func() error {
+		r := <-runCh
+		runCh <- r
+		paused <- r.Pause(pipe.UID)
+		return nil
+	}
+	if err := am.AddPipelines(pipe); err != nil {
+		t.Fatal(err)
+	}
+	run, err := am.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCh <- run
+	if err := <-paused; err != nil {
+		t.Fatalf("pause: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if st := pipe.Stages()[1].State(); st != StageInitial {
+		t.Fatalf("second stage advanced while paused: %s", st)
+	}
+	if err := run.Resume(pipe.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if pipe.State() != PipelineDone {
+		t.Fatalf("pipeline state = %s", pipe.State())
+	}
+}

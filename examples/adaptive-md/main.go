@@ -8,6 +8,13 @@
 // This is EnTK's adaptivity: "branching events can be specified as tasks
 // where a decision is made about the runtime flow" (§II-B1).
 //
+// The example drives the run through the non-blocking Start/Wait handle:
+// a typed event subscription renders stage transitions live, and after the
+// first analysis round the PostExec hook *pauses* the pipeline through the
+// run handle (the paper's suspension primitive) — as a real adaptive
+// application would while an out-of-band decision service deliberates —
+// then resumes it from a second goroutine.
+//
 //	go run ./examples/adaptive-md
 package main
 
@@ -43,6 +50,12 @@ func main() {
 
 	pipeline := entk.NewPipeline("adaptive-md")
 	var round int32
+	// The run handle is handed to the PostExec hook through a 1-slot
+	// channel: the hook blocks until Start has returned, so the pause
+	// branch can never be skipped by a scheduling race.
+	runCh := make(chan *entk.Run, 1)
+	resumed := make(chan struct{})
+
 	// "Converged" when the decision task has seen enough rounds; a real
 	// application would measure, e.g., conformational-space coverage.
 	var addRound func() error
@@ -77,7 +90,30 @@ func main() {
 		if err := pipeline.AddStage(mdStage(n)); err != nil {
 			return err
 		}
-		return pipeline.AddStage(analysisStage(n))
+		if err := pipeline.AddStage(analysisStage(n)); err != nil {
+			return err
+		}
+		if n == 1 {
+			// Suspend at this stage boundary while an (imagined) external
+			// decision service deliberates; resume shortly after. Pause and
+			// Resume are committed by the Synchronizer like any other
+			// transition, so the event stream shows both.
+			r := <-runCh
+			runCh <- r
+			if err := r.Pause(pipeline.UID); err != nil {
+				return err
+			}
+			fmt.Println("round 1: pipeline paused pending external decision")
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				if err := r.Resume(pipeline.UID); err != nil {
+					log.Printf("resume: %v", err)
+				}
+				fmt.Println("external decision arrived: pipeline resumed")
+				close(resumed)
+			}()
+		}
+		return nil
 	}
 
 	if err := pipeline.AddStage(mdStage(0)); err != nil {
@@ -89,12 +125,31 @@ func main() {
 	if err := am.AddPipelines(pipeline); err != nil {
 		log.Fatal(err)
 	}
-	if err := am.Run(context.Background()); err != nil {
+
+	// Live observability: stage and pipeline transitions as they commit.
+	sub := am.Subscribe(entk.EventFilter{
+		Kinds: []entk.EventKind{entk.EventStage, entk.EventPipeline},
+	})
+	go func() {
+		for ev := range sub.C() {
+			fmt.Printf("  event: %-8s %-12s %s -> %s\n", ev.Kind, ev.Name, ev.From, ev.To)
+		}
+	}()
+
+	r, err := am.Start(context.Background())
+	if err != nil {
 		log.Fatal(err)
 	}
+	runCh <- r
+	if err := r.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	<-resumed
 
-	fmt.Printf("\npipeline %s after %d stages (%d MD rounds)\n",
-		pipeline.State(), pipeline.StageCount(), atomic.LoadInt32(&round))
+	snap := r.Snapshot()
+	fmt.Printf("\npipeline %s after %d stages (%d MD rounds), %d/%d tasks done\n",
+		pipeline.State(), pipeline.StageCount(), atomic.LoadInt32(&round),
+		snap.TasksDone, snap.TasksTotal)
 	rep := am.Report()
 	fmt.Printf("execution window: %.0f virtual s (sequential rounds of concurrent replicas)\n",
 		rep.TaskExecution)

@@ -118,6 +118,13 @@ type AppManager struct {
 	sync *synchronizer
 	wfp  *wfProcessor
 	emgr *execManager
+
+	// events fans committed state transitions out to subscribers; ctl is
+	// the run handle's synchronizer client (Pause/Resume/CancelPipeline),
+	// serialized by ctlMu because sync clients are strictly one-in-flight.
+	events *eventBus
+	ctl    *syncClient
+	ctlMu  sync.Mutex
 }
 
 // NewAppManager builds an AppManager from config.
@@ -134,6 +141,7 @@ func NewAppManager(cfg Config) (*AppManager, error) {
 		stages: make(map[string]*Stage),
 		pipes:  make(map[string]*Pipeline),
 		doneCh: make(chan struct{}),
+		events: newEventBus(),
 	}
 	return am, nil
 }
@@ -427,55 +435,42 @@ func (am *AppManager) teardownCost(n int) {
 }
 
 // Run executes the application to completion (or ctx cancellation). It is
-// the code path the paper's execution model describes end to end: setup,
-// enqueue/execute/dequeue cycles with synchronized state transitions, and
-// ordered tear-down.
+// a thin Start+Wait wrapper kept for callers that do not need the run
+// handle; a second Run (or Start) returns ErrAlreadyRan.
 func (am *AppManager) Run(ctx context.Context) error {
-	am.mu.Lock()
-	if am.running {
-		am.mu.Unlock()
-		return errors.New("core: AppManager already running")
-	}
-	am.running = true
-	am.mu.Unlock()
-
-	// ---- EnTK Setup -----------------------------------------------------
-	if err := am.validateApp(); err != nil {
+	r, err := am.Start(ctx)
+	if err != nil {
 		return err
 	}
-	if err := am.registerEntities(); err != nil {
-		return err
-	}
-	if am.cfg.JournalPath != "" {
-		j, err := journal.Open(am.cfg.JournalPath, journal.Options{})
-		if err != nil {
-			return err
-		}
-		am.jrn = j
-		defer am.jrn.Close()
-		if err := am.recoverFromJournal(); err != nil {
-			return err
-		}
-	}
-	if am.cfg.StateStore != nil {
-		if err := am.recoverFromStateStore(); err != nil {
-			return err
-		}
-	}
+	return r.Wait()
+}
 
+// journalOpen opens the transactional state journal.
+func journalOpen(path string) (*journal.Journal, error) {
+	return journal.Open(path, journal.Options{})
+}
+
+// closeJournal closes the state journal if one is open.
+func (am *AppManager) closeJournal() {
+	if am.jrn != nil {
+		am.jrn.Close()
+	}
+}
+
+// declareTopology creates the broker and the paper's Fig 2 queue topology.
+// The task-traffic queues (pending, done) take the shard knob: their
+// messages are causally independent per task, so sharded rings are safe and
+// let concurrent producers/consumers scale. The states queue and the
+// sync-ack queues are pinned to one shard — the Synchronizer must apply
+// transition requests in cross-component arrival order (SCHEDULED before
+// DONE for the same stage), which is a strict-FIFO, single-shard guarantee.
+func (am *AppManager) declareTopology() error {
 	am.brk = broker.New(broker.Options{PerOpDelay: am.msgDelay})
-	// The task-traffic queues (pending, done) take the shard knob: their
-	// messages are causally independent per task, so sharded rings are
-	// safe and let concurrent producers/consumers scale. The states queue
-	// and the sync-ack queues are pinned to one shard — the Synchronizer
-	// must apply transition requests in cross-component arrival order
-	// (SCHEDULED before DONE for the same stage), which is a strict-FIFO,
-	// single-shard guarantee.
 	sharded := []string{QueuePending, QueueDone}
 	ordered := []string{
 		QueueStates,
 		ackPrefix + "-enq", ackPrefix + "-deq", ackPrefix + "-emgr",
-		ackPrefix + "-cb", ackPrefix + "-hb",
+		ackPrefix + "-cb", ackPrefix + "-hb", ackPrefix + "-ctl",
 	}
 	for _, q := range sharded {
 		opts := broker.QueueOptions{Shards: am.cfg.QueueShards}
@@ -489,54 +484,7 @@ func (am *AppManager) Run(ctx context.Context) error {
 		}
 	}
 	am.spawnCost(len(sharded) + len(ordered)) // messaging infrastructure
-
-	// Spawn Synchronizer, WFProcessor (Enqueue, Dequeue) and ExecManager
-	// (Rmgr, Emgr, RTS Callback, Heartbeat): 2 components + 7
-	// subcomponents, matching Fig 2.
-	am.sync = newSynchronizer(am)
-	am.wfp = newWFProcessor(am)
-	am.emgr = newExecManager(am)
-	am.spawnCost(9)
-
-	if err := am.sync.start(); err != nil {
-		return err
-	}
-
-	// ---- Resource acquisition and execution -----------------------------
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	if err := am.emgr.start(runCtx); err != nil {
-		am.stopComponents()
-		return err
-	}
-	if err := am.wfp.start(runCtx); err != nil {
-		am.emgr.stop()
-		am.stopComponents()
-		return err
-	}
-
-	// Wait for completion or cancellation.
-	var err error
-	select {
-	case <-am.doneCh:
-		err = am.takeErr()
-	case <-ctx.Done():
-		err = ctx.Err()
-		am.cancelRemainingTasks()
-	}
-
-	// ---- Tear-down -------------------------------------------------------
-	am.wfp.stop()
-	am.emgr.stopComponentsOnly()
-	am.sync.stop()
-	am.teardownCost(9)
-	am.brk.Close()
-
-	// RTS tear-down is measured by the RTS itself (black box).
-	am.emgr.stopRTS()
-
-	return err
+	return nil
 }
 
 func (am *AppManager) takeErr() error {
@@ -583,7 +531,8 @@ func (am *AppManager) allPipelinesTerminal() bool {
 }
 
 // cancelRemainingTasks marks every non-terminal entity canceled after a
-// context cancellation.
+// context cancellation. The forced transitions bypass the Synchronizer (it
+// is about to stop), so the cancellation events are published here.
 func (am *AppManager) cancelRemainingTasks() {
 	am.mu.Lock()
 	tasks := make([]*Task, 0, len(am.tasks))
@@ -593,17 +542,20 @@ func (am *AppManager) cancelRemainingTasks() {
 	pipes := append([]*Pipeline(nil), am.pipelines...)
 	am.mu.Unlock()
 	for _, t := range tasks {
-		if !t.State().Terminal() {
+		if from := t.State(); !from.Terminal() {
 			t.forceState(TaskCanceled)
+			am.emitTask(t, from, TaskCanceled)
 		}
 	}
 	for _, p := range pipes {
-		if !p.State().Terminal() {
+		if from := p.State(); !from.Terminal() {
 			p.forceState(PipelineCanceled)
+			am.emitPipeline(p, from, PipelineCanceled)
 		}
 		for _, s := range p.Stages() {
-			if !s.State().Terminal() {
+			if from := s.State(); !from.Terminal() {
 				s.forceState(StageCanceled)
+				am.emitStage(s, from, StageCanceled)
 			}
 		}
 	}

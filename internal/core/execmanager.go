@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/broker"
+	"repro/internal/msgcodec"
 )
 
 // execManager is the Workload-Management-layer component (paper Fig 2) with
@@ -123,18 +124,24 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 	var drops []*broker.Delivery
 	live := make([]*broker.Delivery, 0, len(batch))
 	for _, d := range batch {
-		var msg pendingMsg
-		if err := json.Unmarshal(d.Body, &msg); err != nil {
+		uids, err := msgcodec.DecodeTaskUIDs(d.Body)
+		if err != nil {
 			drops = append(drops, d)
 			continue
 		}
 		bad := false
-		ds := make([]TaskDescription, 0, len(msg.TaskUIDs))
-		ts := make([]*Task, 0, len(msg.TaskUIDs))
-		for _, uid := range msg.TaskUIDs {
+		ds := make([]TaskDescription, 0, len(uids))
+		ts := make([]*Task, 0, len(uids))
+		for _, uid := range uids {
 			t, ok := e.am.Task(uid)
 			if !ok {
 				bad = true
+				continue
+			}
+			if t.State().Terminal() {
+				// The task was canceled (or recovered as DONE) after its
+				// pending message was published; submitting it would only
+				// burn pilot cores on a result the Dequeue will discard.
 				continue
 			}
 			ds = append(ds, describeTask(t))
@@ -327,11 +334,7 @@ func (e *execManager) failover(ctx context.Context, failed RTS) error {
 		if err := e.hbSync.task(t, TaskScheduled); err != nil {
 			return err
 		}
-		body, err := json.Marshal(pendingMsg{TaskUIDs: []string{uid}})
-		if err != nil {
-			return err
-		}
-		if err := e.am.brk.Publish(QueuePending, body); err != nil {
+		if err := e.am.brk.Publish(QueuePending, msgcodec.EncodeTaskUID(uid)); err != nil {
 			return err
 		}
 	}

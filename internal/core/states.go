@@ -32,7 +32,10 @@ func (s TaskState) Terminal() bool {
 }
 
 // taskTransitions is the legal task state machine. FAILED→SCHEDULING encodes
-// resubmission of failed tasks without restarting completed ones (§II-A).
+// resubmission of failed tasks without restarting completed ones (§II-A);
+// FAILED→CANCELED lets a cancellation override a pending resubmission (a
+// failed task awaiting retry in a canceled pipeline must not re-enter
+// flight).
 var taskTransitions = map[TaskState][]TaskState{
 	TaskInitial:    {TaskScheduling, TaskCanceled},
 	TaskScheduling: {TaskScheduled, TaskFailed, TaskCanceled},
@@ -40,7 +43,7 @@ var taskTransitions = map[TaskState][]TaskState{
 	TaskSubmitting: {TaskSubmitted, TaskFailed, TaskCanceled},
 	TaskSubmitted:  {TaskExecuted, TaskFailed, TaskCanceled},
 	TaskExecuted:   {TaskDone, TaskFailed, TaskCanceled},
-	TaskFailed:     {TaskScheduling},
+	TaskFailed:     {TaskScheduling, TaskCanceled},
 	TaskDone:       {},
 	TaskCanceled:   {},
 }
@@ -94,10 +97,13 @@ func (s PipelineState) Terminal() bool {
 var pipelineTransitions = map[PipelineState][]PipelineState{
 	PipelineInitial:    {PipelineScheduling, PipelineCanceled},
 	PipelineScheduling: {PipelineSuspended, PipelineDone, PipelineFailed, PipelineCanceled},
-	PipelineSuspended:  {PipelineScheduling, PipelineCanceled},
-	PipelineDone:       {},
-	PipelineFailed:     {},
-	PipelineCanceled:   {},
+	// A suspended pipeline resumes, is canceled, or fails: suspension only
+	// gates the scheduling of new stages, so a failure in the stage already
+	// in flight must still be able to fail the pipeline.
+	PipelineSuspended: {PipelineScheduling, PipelineFailed, PipelineCanceled},
+	PipelineDone:      {},
+	PipelineFailed:    {},
+	PipelineCanceled:  {},
 }
 
 // TransitionError reports an illegal state transition.

@@ -157,9 +157,11 @@ func TestTerminalStatesHaveNoSuccessors(t *testing.T) {
 			t.Fatalf("terminal task state %s has successors", s)
 		}
 	}
-	// FAILED is special: resubmission only.
-	if len(taskTransitions[TaskFailed]) != 1 || taskTransitions[TaskFailed][0] != TaskScheduling {
-		t.Fatal("FAILED must transition only to SCHEDULING")
+	// FAILED is special: resubmission, or cancellation overriding it.
+	if len(taskTransitions[TaskFailed]) != 2 ||
+		taskTransitions[TaskFailed][0] != TaskScheduling ||
+		taskTransitions[TaskFailed][1] != TaskCanceled {
+		t.Fatal("FAILED must transition only to SCHEDULING or CANCELED")
 	}
 }
 

@@ -101,9 +101,61 @@ func (s *synchronizer) loop() {
 	}
 }
 
+// The Synchronizer's cancellation and suspension semantics, applied as
+// silent no-op acks so concurrent requesters never observe spurious
+// rejections:
+//
+//   - sticky cancel: a CANCELED entity absorbs every later transition
+//     request (the late completion or resubmission of a task whose
+//     pipeline was canceled mid-flight must not fail the run);
+//   - idempotent cancel: re-canceling DONE/terminal entities is a no-op;
+//   - deferred completion: a DONE request against a SUSPENDED pipeline is
+//     dropped, because Pause may commit between the WFProcessor's state
+//     read and its completion request — Resume's nudge re-derives the
+//     completion from the cursor.
+
+// taskSkip reports whether a task transition request is absorbed.
+func taskSkip(current, target TaskState) bool {
+	if current == TaskCanceled {
+		return true // sticky
+	}
+	return target == TaskCanceled && current == TaskDone // idempotent
+}
+
+// stageSkip reports whether a stage transition request is absorbed.
+func stageSkip(current, target StageState) bool {
+	if current == StageCanceled {
+		return true
+	}
+	return target == StageCanceled && current.Terminal()
+}
+
+// pipelineSkip reports whether a pipeline transition request is absorbed.
+func pipelineSkip(current, target PipelineState) bool {
+	if current == PipelineCanceled {
+		return true
+	}
+	if target == PipelineCanceled && current.Terminal() {
+		return true
+	}
+	return target == PipelineDone && current == PipelineSuspended // deferred
+}
+
 // apply validates and commits one transition (or one batch of identical
-// task transitions).
+// task transitions). Committed transitions are journaled, mirrored to the
+// state store, and published on the event bus — in that order, so an event
+// always describes a transition that was durably recorded.
 func (s *synchronizer) apply(req *stateRequest) stateAck {
+	// applied collects the transitions that actually advanced (cancel
+	// no-ops are excluded), for journaling and event publication.
+	type applied struct {
+		task  *Task
+		stage *Stage
+		pipe  *Pipeline
+		uid   string
+		from  string
+	}
+	var commits []applied
 	var err error
 	switch req.Entity {
 	case "task":
@@ -118,6 +170,9 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 				break
 			}
 			prev := t.State()
+			if taskSkip(prev, TaskState(req.Target)) {
+				continue
+			}
 			err = t.advance(TaskState(req.Target))
 			if err != nil {
 				break
@@ -126,6 +181,7 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 				t.setResult(req.ExitCode, req.ExecErr)
 			}
 			s.trackActivity(prev, TaskState(req.Target))
+			commits = append(commits, applied{task: t, uid: uid, from: string(prev)})
 		}
 	case "stage":
 		s.am.mu.Lock()
@@ -135,7 +191,13 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 			err = fmt.Errorf("core: unknown stage %s", req.UID)
 			break
 		}
-		err = st.advance(StageState(req.Target))
+		prev := st.State()
+		if stageSkip(prev, StageState(req.Target)) {
+			break
+		}
+		if err = st.advance(StageState(req.Target)); err == nil {
+			commits = append(commits, applied{stage: st, uid: req.UID, from: string(prev)})
+		}
 	case "pipeline":
 		s.am.mu.Lock()
 		p, ok := s.am.pipes[req.UID]
@@ -144,7 +206,13 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 			err = fmt.Errorf("core: unknown pipeline %s", req.UID)
 			break
 		}
-		err = p.advance(PipelineState(req.Target))
+		prev := p.State()
+		if pipelineSkip(prev, PipelineState(req.Target)) {
+			break
+		}
+		if err = p.advance(PipelineState(req.Target)); err == nil {
+			commits = append(commits, applied{pipe: p, uid: req.UID, from: string(prev)})
+		}
 	default:
 		err = fmt.Errorf("core: unknown entity kind %q", req.Entity)
 	}
@@ -152,22 +220,30 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 		return stateAck{Seq: req.Seq, OK: false, Err: err.Error()}
 	}
 	if s.am.jrn != nil || s.am.cfg.StateStore != nil {
-		uids := req.UIDs
-		if len(uids) == 0 {
-			uids = []string{req.UID}
-		}
-		for _, uid := range uids {
+		for _, c := range commits {
 			if s.am.jrn != nil {
 				if _, jerr := s.am.jrn.Append("state", stateRec{
-					Entity: req.Entity, UID: uid, State: req.Target,
+					Entity: req.Entity, UID: c.uid, State: req.Target,
 				}); jerr != nil {
 					return stateAck{Seq: req.Seq, OK: false, Err: jerr.Error()}
 				}
 			}
 			if s.am.cfg.StateStore != nil {
-				if derr := s.am.cfg.StateStore.SaveState(req.Entity, uid, req.Target); derr != nil {
+				if derr := s.am.cfg.StateStore.SaveState(req.Entity, c.uid, req.Target); derr != nil {
 					return stateAck{Seq: req.Seq, OK: false, Err: derr.Error()}
 				}
+			}
+		}
+	}
+	if s.am.eventsActive() {
+		for _, c := range commits {
+			switch {
+			case c.task != nil:
+				s.am.emitTask(c.task, TaskState(c.from), TaskState(req.Target))
+			case c.stage != nil:
+				s.am.emitStage(c.stage, StageState(c.from), StageState(req.Target))
+			case c.pipe != nil:
+				s.am.emitPipeline(c.pipe, PipelineState(c.from), PipelineState(req.Target))
 			}
 		}
 	}
@@ -175,10 +251,13 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 }
 
 // trackActivity maintains the count of concurrently managed tasks used for
-// host strain (Fig 8's management-overhead growth past 2,048 tasks).
+// host strain (Fig 8's management-overhead growth past 2,048 tasks). A task
+// is active from entering SCHEDULING to reaching a terminal state; a task
+// canceled straight out of DESCRIBED was never active, and one canceled out
+// of FAILED already left when it failed — neither may decrement the count.
 func (s *synchronizer) trackActivity(from, to TaskState) {
 	enters := to == TaskScheduling && (from == TaskInitial || from == "" || from == TaskFailed)
-	leaves := to.Terminal()
+	leaves := to.Terminal() && from != TaskInitial && from != "" && from != TaskFailed
 	if enters {
 		atomic.AddInt64(&s.am.active, 1)
 	}

@@ -7,16 +7,15 @@ import (
 	"sync"
 
 	"repro/internal/broker"
+	"repro/internal/msgcodec"
 	"repro/internal/profiler"
 )
 
-// pendingMsg is the body published on the pending queue: task references
-// that the Emgr resolves against AppManager's registry before translating
-// them to RTS descriptions. A message may carry a whole stage's tasks —
-// EnTK's bulk messages keep queue traffic O(stages), not O(tasks).
-type pendingMsg struct {
-	TaskUIDs []string `json:"task_uids"`
-}
+// The pending-queue bodies are task references that the Emgr resolves
+// against AppManager's registry before translating them to RTS
+// descriptions. A message may carry a whole stage's tasks — EnTK's bulk
+// messages keep queue traffic O(stages), not O(tasks). The wire codec
+// (with its pooled encode buffers) lives in internal/msgcodec.
 
 // dequeueBatch bounds how many done-queue messages Dequeue settles per
 // broker round-trip (it is a message bound, not a task bound: each message
@@ -36,6 +35,10 @@ type wfProcessor struct {
 	pendP   *broker.Producer
 	enqSync *syncClient
 	deqSync *syncClient
+
+	// uidScratch is the enqueue loop's reusable chunk buffer for pending
+	// message encoding (scheduleStage runs only on that goroutine).
+	uidScratch []string
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -223,7 +226,9 @@ func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
 		// The whole stage goes out as one batch publish. Task UIDs are
 		// chunked into messages of at most BatchSize tasks so the Emgr's
 		// batch granularity is controllable, but however many messages that
-		// yields, the broker is traversed once.
+		// yields, the broker is traversed once. Encoding reuses the loop's
+		// scratch UID slice and msgcodec's pooled buffers, so each chunk
+		// costs exactly one allocation (its body).
 		chunk := w.am.cfg.EmgrBatch
 		var bodies [][]byte
 		for start := 0; start < len(runnable); start += chunk {
@@ -231,15 +236,11 @@ func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
 			if end > len(runnable) {
 				end = len(runnable)
 			}
-			uids := make([]string, end-start)
-			for i, t := range runnable[start:end] {
-				uids[i] = t.UID
+			w.uidScratch = w.uidScratch[:0]
+			for _, t := range runnable[start:end] {
+				w.uidScratch = append(w.uidScratch, t.UID)
 			}
-			body, err := json.Marshal(pendingMsg{TaskUIDs: uids})
-			if err != nil {
-				return err
-			}
-			bodies = append(bodies, body)
+			bodies = append(bodies, msgcodec.EncodeTaskUIDs(w.uidScratch))
 		}
 		if err := w.pendP.PublishBatch(bodies); err != nil {
 			return err
@@ -307,6 +308,12 @@ func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
 				broker.NackBatch(drops, false) //nolint:errcheck
 				broker.AckBatch(batch)         //nolint:errcheck
 				return fmt.Errorf("core: completion for unknown task %s", res.UID)
+			}
+			if t.State().Terminal() {
+				// Stale result: the task was canceled (e.g. CancelPipeline)
+				// after submission and the RTS still reported the attempt.
+				// Its stage settled through the cancellation path already.
+				continue
 			}
 			switch {
 			case res.Canceled:
@@ -390,19 +397,25 @@ func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
 }
 
 // resubmit re-queues a failed task attempt. As in scheduleStage, the task
-// reaches SCHEDULED before its pending message is published.
+// reaches SCHEDULED before its pending message is published. A concurrent
+// CancelPipeline makes the whole sequence moot: the check below skips the
+// common case, and if the cancel lands mid-sequence the Synchronizer's
+// sticky-cancel absorbs the transitions and the Emgr drops the message.
 func (w *wfProcessor) resubmit(t *Task) error {
+	_, stageUID := t.Parent()
+	w.am.mu.Lock()
+	stage := w.am.stages[stageUID]
+	w.am.mu.Unlock()
+	if stage != nil && stage.State().Terminal() {
+		return nil // stage canceled (or settled) under us; retry is moot
+	}
 	if err := w.deqSync.task(t, TaskScheduling); err != nil {
 		return err
 	}
 	if err := w.deqSync.task(t, TaskScheduled); err != nil {
 		return err
 	}
-	body, err := json.Marshal(pendingMsg{TaskUIDs: []string{t.UID}})
-	if err != nil {
-		return err
-	}
-	return w.pendP.Publish(body)
+	return w.pendP.Publish(msgcodec.EncodeTaskUID(t.UID))
 }
 
 // maybeCompleteStage finishes a stage whose tasks are all terminal, runs its
@@ -434,6 +447,13 @@ func (w *wfProcessor) maybeCompleteStage(p *Pipeline, stage *Stage, sc *syncClie
 	if err := sc.stage(stage, target); err != nil {
 		return err
 	}
+	if stage.State() != target {
+		// The request was absorbed by a concurrent CancelPipeline (the
+		// Synchronizer skip-acks completions of canceled stages): the
+		// cancellation path owns the pipeline's terminal settlement, so
+		// neither PostExec nor the cursor may run here.
+		return nil
+	}
 
 	if target == StageDone && stage.PostExec != nil {
 		// Adaptivity hook: the decision may append stages to the pipeline.
@@ -458,7 +478,10 @@ func (w *wfProcessor) maybeCompleteStage(p *Pipeline, stage *Stage, sc *syncClie
 		if err := sc.pipeline(p, pTarget); err != nil {
 			return err
 		}
-		if pTarget == PipelineFailed {
+		// Check the committed state, not the request: a concurrent cancel
+		// absorbs the FAILED request, and a canceled pipeline is not a
+		// run-failing condition.
+		if p.State() == PipelineFailed {
 			w.am.setErr(fmt.Errorf("core: pipeline %s (%s) failed at stage %s",
 				p.UID, p.Name, stage.UID))
 		}
@@ -485,6 +508,12 @@ func (w *wfProcessor) completePipeline(p *Pipeline, sc *syncClient) error {
 
 func (w *wfProcessor) completePipelineLocked(p *Pipeline, sc *syncClient) error {
 	if p.State().Terminal() {
+		return nil
+	}
+	if p.State() == PipelineSuspended {
+		// The last stage finished while the pipeline was paused: completion
+		// is deferred until Resume, whose nudge re-runs the enqueue pass
+		// that lands here again with the pipeline back in SCHEDULING.
 		return nil
 	}
 	if err := sc.pipeline(p, PipelineDone); err != nil {

@@ -111,8 +111,19 @@ func runPST(spec pstSpec, scale time.Duration) (profiler.Report, error) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
-	if err := am.Run(ctx); err != nil {
+	run, err := am.Start(ctx)
+	if err != nil {
 		return profiler.Report{}, err
+	}
+	if err := run.Wait(); err != nil {
+		return profiler.Report{}, err
+	}
+	// Completion accounting via the run handle instead of re-walking the
+	// PST tree: an overhead figure from a partially completed run would be
+	// silently wrong, so the harness cross-checks the snapshot.
+	if snap := run.Snapshot(); snap.TasksDone != snap.TasksTotal {
+		return profiler.Report{}, fmt.Errorf(
+			"experiments: PST run finished with %d/%d tasks done", snap.TasksDone, snap.TasksTotal)
 	}
 	return am.Report(), nil
 }
@@ -274,8 +285,16 @@ func runScalingBatch(tasks, cores, batch int, scale time.Duration) (profiler.Rep
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
 	defer cancel()
-	if err := am.Run(ctx); err != nil {
+	run, err := am.Start(ctx)
+	if err != nil {
 		return profiler.Report{}, err
+	}
+	if err := run.Wait(); err != nil {
+		return profiler.Report{}, err
+	}
+	if snap := run.Snapshot(); snap.TasksDone != tasks {
+		return profiler.Report{}, fmt.Errorf(
+			"experiments: scaling run finished with %d/%d tasks done", snap.TasksDone, tasks)
 	}
 	return am.Report(), nil
 }

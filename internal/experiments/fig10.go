@@ -128,22 +128,29 @@ func fig10Run(ensemble, concurrency int, scale time.Duration) (*Fig10Row, error)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
-	if err := am.Run(ctx); err != nil {
+	run, err := am.Start(ctx)
+	if err != nil {
 		return nil, fmt.Errorf("fig10 (%d tasks, c=%d): %w", ensemble, concurrency, err)
+	}
+	if err := run.Wait(); err != nil {
+		return nil, fmt.Errorf("fig10 (%d tasks, c=%d): %w", ensemble, concurrency, err)
+	}
+	// Attempt and completion counts come from the run handle's snapshot
+	// instead of a hand-rolled walk over the PST tree: TaskAttempts counts
+	// every execution attempt (resubmissions of contention-failed tasks
+	// included), and every non-final attempt of a completed ensemble failed.
+	snap := run.Snapshot()
+	if snap.TasksDone != snap.TasksTotal {
+		return nil, fmt.Errorf("fig10 (%d tasks, c=%d): %d/%d tasks done",
+			ensemble, concurrency, snap.TasksDone, snap.TasksTotal)
 	}
 	row := &Fig10Row{
 		Tasks:       ensemble,
 		Concurrency: concurrency,
 		Nodes:       concurrency * params.Cores / 16, // Titan: 16 cores/node
 		ExecTimeS:   am.Report().TaskExecution,
-	}
-	for _, p := range pipes {
-		for _, s := range p.Stages() {
-			for _, t := range s.Tasks() {
-				row.Attempts += t.Attempts()
-				row.Failures += t.Attempts() - 1 // every non-final attempt failed
-			}
-		}
+		Attempts:    snap.TaskAttempts,
+		Failures:    snap.TaskAttempts - snap.TasksDone,
 	}
 	return row, nil
 }

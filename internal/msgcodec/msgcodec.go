@@ -1,0 +1,92 @@
+// Package msgcodec implements the wire codec for the broker's task-traffic
+// messages. The hot object is the pending-queue message — a task-UID batch
+// shaped {"task_uids":["..."]} — which the WFProcessor encodes once per
+// published chunk and the Emgr decodes once per consumed message. Encoding
+// writes into a pooled scratch buffer and returns a single exact-size copy,
+// so the steady-state cost is one allocation per message regardless of
+// batch width (the ROADMAP's "JSON dominates Fig 6" follow-up).
+package msgcodec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// pendingMsg is the wire shape of one pending-queue message. It is kept
+// JSON-compatible with the original encoding, so mixed-version journals
+// replay cleanly.
+type pendingMsg struct {
+	TaskUIDs []string `json:"task_uids"`
+}
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// EncodeTaskUIDs encodes a pending-queue message for the given task UIDs.
+// The returned slice is freshly allocated (the broker retains message
+// bodies), but all intermediate encoding state comes from a pool.
+func EncodeTaskUIDs(uids []string) []byte {
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, `{"task_uids":[`...)
+	for i, uid := range uids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONString(buf, uid)
+	}
+	buf = append(buf, ']', '}')
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return out
+}
+
+// EncodeTaskUID encodes a single-task pending message.
+func EncodeTaskUID(uid string) []byte {
+	return EncodeTaskUIDs([]string{uid})
+}
+
+// DecodeTaskUIDs decodes a pending-queue message body.
+func DecodeTaskUIDs(body []byte) ([]string, error) {
+	var msg pendingMsg
+	if err := json.Unmarshal(body, &msg); err != nil {
+		return nil, fmt.Errorf("msgcodec: pending message: %w", err)
+	}
+	return msg.TaskUIDs, nil
+}
+
+// appendJSONString appends s as a JSON string literal. Typical UIDs
+// ("task.000042") take the zero-extra-allocation fast path; anything
+// containing characters that need escaping falls back to encoding/json,
+// which handles escapes and invalid UTF-8 exactly like the original path.
+func appendJSONString(buf []byte, s string) []byte {
+	if jsonSafe(s) {
+		buf = append(buf, '"')
+		buf = append(buf, s...)
+		return append(buf, '"')
+	}
+	b, err := json.Marshal(s)
+	if err != nil { // unreachable: strings always marshal
+		return append(buf, '"', '"')
+	}
+	return append(buf, b...)
+}
+
+// jsonSafe reports whether s can be embedded in a JSON string verbatim:
+// printable ASCII with no quote or backslash.
+func jsonSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}

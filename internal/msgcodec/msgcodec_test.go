@@ -1,0 +1,71 @@
+package msgcodec
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{},
+		{"task.000001"},
+		{"task.000001", "task.000002", "task.000003"},
+		{"task.recov.a", "task.recov.flaky"},
+		// Escaping fallback paths: quotes, backslashes, control chars,
+		// non-ASCII and invalid UTF-8 must round-trip like encoding/json.
+		{`task."quoted"`, `back\slash`, "tab\there", "unicode-日本語", "bad\xff utf8"},
+	}
+	for _, uids := range cases {
+		body := EncodeTaskUIDs(uids)
+		if !json.Valid(body) {
+			t.Fatalf("EncodeTaskUIDs(%q) produced invalid JSON: %s", uids, body)
+		}
+		got, err := DecodeTaskUIDs(body)
+		if err != nil {
+			t.Fatalf("DecodeTaskUIDs(%s): %v", body, err)
+		}
+		// Compare against what the stdlib round-trip would yield (invalid
+		// UTF-8 is replaced by U+FFFD in both paths).
+		ref, _ := json.Marshal(pendingMsg{TaskUIDs: uids})
+		var want pendingMsg
+		if err := json.Unmarshal(ref, &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 && len(want.TaskUIDs) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want.TaskUIDs) {
+			t.Fatalf("round trip %q: got %q want %q", uids, got, want.TaskUIDs)
+		}
+	}
+}
+
+func TestEncodeMatchesStdlibShape(t *testing.T) {
+	uids := []string{"task.000001", "task.000002"}
+	want, _ := json.Marshal(pendingMsg{TaskUIDs: uids})
+	got := EncodeTaskUIDs(uids)
+	if string(got) != string(want) {
+		t.Fatalf("wire shape drifted: got %s want %s", got, want)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTaskUIDs([]byte(`{"task_uids":`)); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+	if _, err := DecodeTaskUIDs([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON message accepted")
+	}
+}
+
+func TestEncodeSingle(t *testing.T) {
+	got, err := DecodeTaskUIDs(EncodeTaskUID("task.42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "task.42" {
+		t.Fatalf("got %q", got)
+	}
+}

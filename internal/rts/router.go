@@ -200,6 +200,23 @@ func (r *Router) Submit(tasks []core.TaskDescription) error {
 // Completions implements core.RTS.
 func (r *Router) Completions() <-chan core.TaskResult { return r.completions }
 
+// Utilization implements core.UtilizationReporter by summing the members
+// that can report their own occupancy (heterogeneous pilots aggregate into
+// one campaign-wide view).
+func (r *Router) Utilization() core.Utilization {
+	var u core.Utilization
+	for _, m := range r.members {
+		if ur, ok := m.rts.(core.UtilizationReporter); ok {
+			mu := ur.Utilization()
+			u.CoresTotal += mu.CoresTotal
+			u.CoresBusy += mu.CoresBusy
+			u.GPUsTotal += mu.GPUsTotal
+			u.GPUsBusy += mu.GPUsBusy
+		}
+	}
+	return u
+}
+
 // Alive implements core.RTS: the router is alive while every member is
 // (EnTK's heartbeat then replaces the whole composite, preserving the
 // paper's black-box failure model).

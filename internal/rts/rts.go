@@ -258,6 +258,21 @@ func (r *PilotRTS) Stop() error {
 	return nil
 }
 
+// Utilization implements core.UtilizationReporter: pilot occupancy as seen
+// by the agent's scheduler (total minus free cores/GPUs). Before the agent
+// bootstraps, the pilot is idle.
+func (r *PilotRTS) Utilization() core.Utilization {
+	u := core.Utilization{
+		CoresTotal: r.cfg.Resource.Cores,
+		GPUsTotal:  r.cfg.Resource.GPUs,
+	}
+	if r.agent != nil {
+		u.CoresBusy = u.CoresTotal - r.agent.FreeCores()
+		u.GPUsBusy = u.GPUsTotal - r.agent.FreeGPUs()
+	}
+	return u
+}
+
 // Stats implements core.RTS.
 func (r *PilotRTS) Stats() core.RTSStats {
 	return core.RTSStats{
