@@ -6,11 +6,13 @@
 GO ?= go
 
 # The benchmark subset tracked by the regression gate: the broker hot-path
-# pipelines, the multi-consumer ablation, and the run-control event-stream
+# pipelines, the multi-consumer ablation, the run-control event-stream
 # overhead (events-off must stay the no-subscriber fast path; events-on
-# within ~10% of it). Stable, fast, and the numbers this repo's PRs argue
-# about.
-BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkEventStreamOverhead)
+# within ~10% of it), the synchronizer round-trip shapes (batched frames
+# must stay O(1) per stage) and the Fig 6 wire-codec ablation (binary must
+# stay ahead of JSON). Stable, fast, and the numbers this repo's PRs argue
+# about. benchdiff also gates allocs/op at 10% (see docs/ci.md).
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec)
 
 .PHONY: build test bench lint bench-json bench-gate bench-baseline
 

@@ -14,8 +14,13 @@
 //	benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR2.json -warn
 //
 // Compare exits nonzero when any benchmark present in both files regressed
-// by more than -threshold percent in ns/op (default 25). -warn reports the
-// same findings but always exits zero — the mode CI uses on shared runners,
+// by more than -threshold percent in ns/op (default 25), or by more than
+// -alloc-threshold percent in allocs/op (default 10; negative disables).
+// Allocation counts are deterministic where wall time is noisy, so the
+// alloc gate is tighter — it is what holds the codec hot paths to their
+// pooled-encoder contracts (see docs/ci.md). A benchmark whose baseline is
+// zero allocs/op regresses by allocating at all. -warn reports the same
+// findings but always exits zero — the mode CI uses on shared runners,
 // whose noise makes a hard gate flaky; the hard gate is for like-for-like
 // hardware. Benchmarks present only in the baseline are reported as
 // missing (a rename silently dropping coverage should be visible);
@@ -161,7 +166,7 @@ func sortedNames(f File) []string {
 	return names
 }
 
-func compare(baseline, current File, thresholdPct float64) (regressions, missing, added []string) {
+func compare(baseline, current File, thresholdPct, allocThresholdPct float64) (regressions, missing, added []string) {
 	for _, name := range sortedNames(baseline) {
 		base := baseline[name]
 		cur, ok := current[name]
@@ -169,14 +174,31 @@ func compare(baseline, current File, thresholdPct float64) (regressions, missing
 			missing = append(missing, name)
 			continue
 		}
-		if base.NsPerOp <= 0 {
+		if base.NsPerOp > 0 {
+			deltaPct := 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
+			if deltaPct > thresholdPct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
+						name, base.NsPerOp, cur.NsPerOp, deltaPct, thresholdPct))
+			}
+		}
+		if allocThresholdPct < 0 {
 			continue
 		}
-		deltaPct := 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
-		if deltaPct > thresholdPct {
+		switch {
+		case base.AllocsPerOp > 0:
+			deltaPct := 100 * (cur.AllocsPerOp - base.AllocsPerOp) / base.AllocsPerOp
+			if deltaPct > allocThresholdPct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f allocs/op (%+.1f%%, threshold %.0f%%)",
+						name, base.AllocsPerOp, cur.AllocsPerOp, deltaPct, allocThresholdPct))
+			}
+		case cur.AllocsPerOp > 0:
+			// A zero-alloc baseline is a contract, not a measurement: any
+			// allocation at all is a regression.
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
-					name, base.NsPerOp, cur.NsPerOp, deltaPct, thresholdPct))
+				fmt.Sprintf("%s: 0 -> %.0f allocs/op (baseline was allocation-free)",
+					name, cur.AllocsPerOp))
 		}
 	}
 	for _, name := range sortedNames(current) {
@@ -194,6 +216,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare: the checked-in baseline JSON")
 		current   = flag.String("current", "", "compare: the freshly measured JSON")
 		threshold = flag.Float64("threshold", 25, "regression threshold in percent of ns/op")
+		allocThr  = flag.Float64("alloc-threshold", 10, "regression threshold in percent of allocs/op (negative disables the alloc gate)")
 		warn      = flag.Bool("warn", false, "report regressions but exit zero (noisy shared runners)")
 	)
 	flag.Parse()
@@ -229,7 +252,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		regressions, missing, added := compare(base, cur, *threshold)
+		regressions, missing, added := compare(base, cur, *threshold, *allocThr)
 		for _, name := range added {
 			fmt.Printf("benchdiff: new benchmark (not in baseline): %s\n", name)
 		}

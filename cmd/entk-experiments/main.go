@@ -15,7 +15,8 @@
 // ensemble; 8 = Fig 11 AnEn adaptive vs random; 9 = Fig 10 full series
 // (every ensemble size x concurrency); 10 = Fig 6 BatchSize x
 // consumer-count grid over the sharded broker; 11 = Fig 8-style
-// weak-scaling sweep across broker batch sizes.
+// weak-scaling sweep across broker batch sizes; 12 = Fig 6 wire-codec
+// ablation (batched broker, JSON vs binary task bodies).
 package main
 
 import (
@@ -151,6 +152,21 @@ func main() {
 			fail(err)
 		}
 		experiments.RenderBatchSweep(os.Stdout, rows)
+	}
+	if want["12"] {
+		tasks := *fig6Tasks
+		if *quick {
+			tasks = 50000
+		}
+		var rows []experiments.Fig6Row
+		for _, format := range []string{"json", "binary"} {
+			r, err := experiments.Fig6Wire(tasks, 64, []int{1, 4}, format)
+			if err != nil {
+				fail(err)
+			}
+			rows = append(rows, r...)
+		}
+		experiments.RenderFig6(os.Stdout, rows)
 	}
 	if want["tune"] {
 		rec, err := experiments.AutotuneConcurrency(opts)

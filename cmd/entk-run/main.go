@@ -47,6 +47,7 @@ func main() {
 		check    = flag.Bool("check", false, "validate the application description and exit")
 		progress = flag.Bool("progress", false, "stream live lifecycle transitions and progress")
 		cancelP  = flag.String("cancel", "", "cancel the named pipeline shortly after start")
+		wire     = flag.String("wire", "binary", "control-plane wire format: binary (fast) or json (inspectable messages and journal)")
 	)
 	flag.Parse()
 	if *appPath == "" {
@@ -82,6 +83,7 @@ func main() {
 		TimeScale:   *scale,
 		TaskRetries: desc.TaskRetries,
 		Seed:        desc.Seed,
+		WireFormat:  *wire,
 	})
 	if err != nil {
 		fatal(err)

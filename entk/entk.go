@@ -200,6 +200,14 @@ type AppConfig struct {
 	// multi-consumer scaling knob. 0 selects the broker default,
 	// min(GOMAXPROCS, 8); 1 restores the single-lock queues.
 	QueueShards int
+	// WireFormat selects the control-plane wire codec: "binary" (default)
+	// frames every steady-state control message — pending-queue task
+	// batches, synchronizer frames and acks, done-queue result batches,
+	// journal records — in the pooled binary format; "json" keeps them
+	// human-readable for debugging and inspection. Decoding accepts both,
+	// so journals written under either setting replay under the other.
+	// See docs/wire-format.md.
+	WireFormat string
 	// RTSRestarts bounds RTS restarts after runtime-system failures.
 	RTSRestarts int
 	// JournalPath enables transactional state journaling and recovery.
@@ -362,6 +370,7 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		RTSRestarts: cfg.RTSRestarts,
 		EmgrBatch:   cfg.BatchSize,
 		QueueShards: cfg.QueueShards,
+		WireFormat:  cfg.WireFormat,
 	})
 	if err != nil {
 		closeAll()

@@ -67,6 +67,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/journal"
+	"repro/internal/msgcodec"
 )
 
 // Errors returned by broker operations.
@@ -170,7 +171,11 @@ type QueueOptions struct {
 
 // Options configure a Broker.
 type Options struct {
-	// Journal, if non-nil, backs durable queues.
+	// Journal, if non-nil, backs durable queues. Durability records are
+	// encoded in the journal's own format (binary by default, JSON when the
+	// journal was opened with the JSON debugging format), so the two can
+	// never disagree; Recover decodes both formats regardless, so old JSON
+	// journals replay.
 	Journal *journal.Journal
 	// PerOpDelay, if non-nil, is invoked once per publish and once per
 	// delivery — and once per *batch* operation on the batched fast path.
@@ -498,38 +503,15 @@ func (b *Broker) Close() {
 
 // Journal record types used for durable queues. Batched operations write
 // one batch record instead of N single records; Recover understands both.
+// Record payloads are msgcodec broker-durability frames (binary by default,
+// JSON under Options.WireFormat FormatJSON); the msgcodec decoders sniff the
+// framing, so journals written by older JSON-only builds replay unchanged.
 const (
 	recPublish      = "broker.publish"
 	recAck          = "broker.ack"
 	recPublishBatch = "broker.publish.batch"
 	recAckBatch     = "broker.ack.batch"
 )
-
-type publishRec struct {
-	Queue string `json:"q"`
-	ID    uint64 `json:"id"`
-	Body  []byte `json:"body"`
-}
-
-type ackRec struct {
-	Queue string `json:"q"`
-	ID    uint64 `json:"id"`
-}
-
-type batchMsgRec struct {
-	ID   uint64 `json:"id"`
-	Body []byte `json:"body"`
-}
-
-type publishBatchRec struct {
-	Queue string        `json:"q"`
-	Msgs  []batchMsgRec `json:"msgs"`
-}
-
-type ackBatchRec struct {
-	Queue string   `json:"q"`
-	IDs   []uint64 `json:"ids"`
-}
 
 // Recover rebuilds durable queue contents from the journal at path. Queues
 // must be declared (durable) before calling Recover. Messages that were
@@ -540,8 +522,8 @@ func (b *Broker) Recover(path string) error {
 	err := journal.Replay(path, func(rec journal.Record) error {
 		switch rec.Type {
 		case recPublish:
-			var p publishRec
-			if err := journal.Decode(rec, &p); err != nil {
+			p, err := msgcodec.DecodeBrokerPublish(rec.Data)
+			if err != nil {
 				return err
 			}
 			if pending[p.Queue] == nil {
@@ -550,8 +532,8 @@ func (b *Broker) Recover(path string) error {
 			pending[p.Queue][p.ID] = p.Body
 			order[p.Queue] = append(order[p.Queue], p.ID)
 		case recPublishBatch:
-			var p publishBatchRec
-			if err := journal.Decode(rec, &p); err != nil {
+			p, err := msgcodec.DecodeBrokerPublishBatch(rec.Data)
+			if err != nil {
 				return err
 			}
 			if pending[p.Queue] == nil {
@@ -562,16 +544,16 @@ func (b *Broker) Recover(path string) error {
 				order[p.Queue] = append(order[p.Queue], m.ID)
 			}
 		case recAck:
-			var a ackRec
-			if err := journal.Decode(rec, &a); err != nil {
+			a, err := msgcodec.DecodeBrokerAck(rec.Data)
+			if err != nil {
 				return err
 			}
 			if m := pending[a.Queue]; m != nil {
 				delete(m, a.ID)
 			}
 		case recAckBatch:
-			var a ackBatchRec
-			if err := journal.Decode(rec, &a); err != nil {
+			a, err := msgcodec.DecodeBrokerAckBatch(rec.Data)
+			if err != nil {
 				return err
 			}
 			if m := pending[a.Queue]; m != nil {

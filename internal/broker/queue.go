@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/msgcodec"
 )
 
 // msgDeque is a slice-backed ring buffer of ready messages. Compared to a
@@ -336,7 +338,11 @@ func (q *queue) journalPublish(m Message) error {
 	if !q.opts.Durable || q.b.opts.Journal == nil {
 		return nil
 	}
-	_, err := q.b.opts.Journal.Append(recPublish, publishRec{Queue: q.name, ID: m.ID, Body: m.Body})
+	data, err := q.b.opts.Journal.Format().EncodeBrokerPublish(q.name, m.ID, m.Body)
+	if err != nil {
+		return err
+	}
+	_, err = q.b.opts.Journal.AppendRaw(recPublish, data)
 	return err
 }
 
@@ -344,7 +350,11 @@ func (q *queue) journalAck(id uint64) error {
 	if !q.opts.Durable || q.b.opts.Journal == nil {
 		return nil
 	}
-	_, err := q.b.opts.Journal.Append(recAck, ackRec{Queue: q.name, ID: id})
+	data, err := q.b.opts.Journal.Format().EncodeBrokerAck(q.name, id)
+	if err != nil {
+		return err
+	}
+	_, err = q.b.opts.Journal.AppendRaw(recAck, data)
 	return err
 }
 
@@ -354,11 +364,15 @@ func (q *queue) journalPublishBatch(msgs []Message) error {
 	if !q.opts.Durable || q.b.opts.Journal == nil {
 		return nil
 	}
-	rec := publishBatchRec{Queue: q.name, Msgs: make([]batchMsgRec, len(msgs))}
+	refs := make([]msgcodec.BrokerMsg, len(msgs))
 	for i, m := range msgs {
-		rec.Msgs[i] = batchMsgRec{ID: m.ID, Body: m.Body}
+		refs[i] = msgcodec.BrokerMsg{ID: m.ID, Body: m.Body}
 	}
-	_, err := q.b.opts.Journal.Append(recPublishBatch, rec)
+	data, err := q.b.opts.Journal.Format().EncodeBrokerPublishBatch(q.name, refs)
+	if err != nil {
+		return err
+	}
+	_, err = q.b.opts.Journal.AppendRaw(recPublishBatch, data)
 	return err
 }
 
@@ -366,7 +380,11 @@ func (q *queue) journalAckBatch(ids []uint64) error {
 	if !q.opts.Durable || q.b.opts.Journal == nil {
 		return nil
 	}
-	_, err := q.b.opts.Journal.Append(recAckBatch, ackBatchRec{Queue: q.name, IDs: ids})
+	data, err := q.b.opts.Journal.Format().EncodeBrokerAckBatch(q.name, ids)
+	if err != nil {
+		return err
+	}
+	_, err = q.b.opts.Journal.AppendRaw(recAckBatch, data)
 	return err
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/hostmodel"
 	"repro/internal/journal"
+	"repro/internal/msgcodec"
 	"repro/internal/profiler"
 	"repro/internal/vclock"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	// arrival order across components, which only a single-shard queue
 	// guarantees.
 	QueueShards int
+	// WireFormat selects the control-plane wire codec: "binary" (the
+	// default, and the hot-path fast format) or "json" (human-readable
+	// messages and journal records, for debugging and inspection). Decoding
+	// always accepts both, so journals written under either setting replay
+	// under the other. See docs/wire-format.md.
+	WireFormat string
+
+	// wireFmt is the parsed WireFormat, resolved by setDefaults.
+	wireFmt msgcodec.Format
 }
 
 func (c *Config) setDefaults() error {
@@ -81,6 +91,11 @@ func (c *Config) setDefaults() error {
 	if c.TaskRetries < 0 {
 		c.TaskRetries = 0
 	}
+	f, err := msgcodec.ParseFormat(c.WireFormat)
+	if err != nil {
+		return err
+	}
+	c.wireFmt = f
 	return nil
 }
 
@@ -445,9 +460,13 @@ func (am *AppManager) Run(ctx context.Context) error {
 	return r.Wait()
 }
 
-// journalOpen opens the transactional state journal.
-func journalOpen(path string) (*journal.Journal, error) {
-	return journal.Open(path, journal.Options{})
+// wire returns the run's control-plane wire format.
+func (am *AppManager) wire() msgcodec.Format { return am.cfg.wireFmt }
+
+// journalOpen opens the transactional state journal, framed with the run's
+// wire format (replay accepts both framings regardless).
+func (am *AppManager) journalOpen(path string) (*journal.Journal, error) {
+	return journal.Open(path, journal.Options{Format: am.cfg.wireFmt})
 }
 
 // closeJournal closes the state journal if one is open.

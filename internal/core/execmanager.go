@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -174,11 +173,10 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 			toSubmitted = append(toSubmitted, t)
 		}
 	}
-	if err := e.emgrSync.taskBatch(toSubmitting, TaskSubmitting); err != nil {
-		broker.NackBatch(live, true) //nolint:errcheck
-		return err
-	}
-	if err := e.emgrSync.taskBatch(toSubmitted, TaskSubmitted); err != nil {
+	e.emgrSync.begin()
+	e.emgrSync.addTaskBatch(toSubmitting, TaskSubmitting)
+	e.emgrSync.addTaskBatch(toSubmitted, TaskSubmitted)
+	if err := e.emgrSync.flush(); err != nil {
 		broker.NackBatch(live, true) //nolint:errcheck
 		return err
 	}
@@ -238,9 +236,13 @@ func (e *execManager) callbackLoop(rts RTS) {
 			delete(e.inflight, r.UID)
 		}
 		e.inflightMu.Unlock()
-		body, err := json.Marshal(results)
+		body, err := e.am.wire().EncodeTaskResults(results)
 		if err != nil {
-			continue
+			// A result batch that cannot be encoded would vanish and leave
+			// its tasks in flight forever: surface the failure as a
+			// component error instead of silently dropping completions.
+			e.am.finish(fmt.Errorf("core: encode result batch: %w", err))
+			return
 		}
 		if err := doneP.Publish(body); err != nil {
 			return // broker closed: tearing down
@@ -322,19 +324,16 @@ func (e *execManager) failover(ctx context.Context, failed RTS) error {
 		if !ok {
 			continue
 		}
-		if err := e.hbSync.taskResult(t, TaskExecuted, -1, "rts failure"); err != nil {
+		// The whole failed-attempt/reschedule sequence rides one sync frame.
+		e.hbSync.begin()
+		e.hbSync.addTaskResult(t, TaskExecuted, -1, "rts failure")
+		e.hbSync.addTask(t, TaskFailed)
+		e.hbSync.addTask(t, TaskScheduling)
+		e.hbSync.addTask(t, TaskScheduled)
+		if err := e.hbSync.flush(); err != nil {
 			return err
 		}
-		if err := e.hbSync.task(t, TaskFailed); err != nil {
-			return err
-		}
-		if err := e.hbSync.task(t, TaskScheduling); err != nil {
-			return err
-		}
-		if err := e.hbSync.task(t, TaskScheduled); err != nil {
-			return err
-		}
-		if err := e.am.brk.Publish(QueuePending, msgcodec.EncodeTaskUID(uid)); err != nil {
+		if err := e.am.brk.Publish(QueuePending, e.am.wire().EncodeTaskUID(uid)); err != nil {
 			return err
 		}
 	}

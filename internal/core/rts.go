@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"time"
+
+	"repro/internal/msgcodec"
 )
 
 // ResourceDesc tells EnTK which CI to use and how big a pilot to request,
@@ -47,18 +49,9 @@ type TaskDescription struct {
 	LocalFunc func() error
 }
 
-// TaskResult is the RTS's report of one finished task attempt.
-type TaskResult struct {
-	UID      string
-	ExitCode int
-	Error    string
-	Canceled bool
-	// Started and Finished bound the executable's run (virtual time).
-	Started  time.Time
-	Finished time.Time
-	// StagingTime is the virtual time spent staging this task's data.
-	StagingTime time.Duration
-}
+// TaskResult is the RTS's report of one finished task attempt. It is the
+// done-queue wire type, so it lives in internal/msgcodec next to its codec.
+type TaskResult = msgcodec.TaskResult
 
 // RTSStats exposes counters from the runtime system.
 type RTSStats struct {

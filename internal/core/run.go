@@ -232,7 +232,7 @@ func (am *AppManager) setup(ctx context.Context) error {
 		return err
 	}
 	if am.cfg.JournalPath != "" {
-		j, err := journalOpen(am.cfg.JournalPath)
+		j, err := am.journalOpen(am.cfg.JournalPath)
 		if err != nil {
 			return err
 		}

@@ -1,45 +1,28 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/broker"
 	"repro/internal/journal"
+	"repro/internal/msgcodec"
 )
 
-// stateRequest is the message components push through the "states" queue to
-// ask AppManager's Synchronizer for a transition (paper Fig 2, arrow 6).
-type stateRequest struct {
-	Entity string `json:"entity"` // "task" | "stage" | "pipeline"
-	UID    string `json:"uid"`
-	// UIDs, when non-empty, applies the same transition to a batch of
-	// entities in one message — EnTK's bulk state updates, which keep the
-	// synchronization traffic O(stages), not O(tasks).
-	UIDs   []string `json:"uids,omitempty"`
-	Target string   `json:"target"`
-	Reply  string   `json:"reply"` // ack queue (Fig 2, arrow 7)
-	Seq    uint64   `json:"seq"`
-	// Result metadata piggybacked on task transitions.
-	ExitCode int    `json:"exit_code,omitempty"`
-	ExecErr  string `json:"exec_err,omitempty"`
-}
+// stateRequest is one transition request inside a sync frame — the message
+// components push through the "states" queue to ask AppManager's
+// Synchronizer for a transition (paper Fig 2, arrow 6). UIDs, when
+// non-empty, applies the same transition to a batch of entities in one
+// request — EnTK's bulk state updates, which keep the synchronization
+// traffic O(stages), not O(tasks). The wire codec lives in
+// internal/msgcodec (binary frames by default, JSON under the WireFormat
+// debugging knob).
+type stateRequest = msgcodec.SyncRequest
 
-// stateAck is the Synchronizer's acknowledgement.
-type stateAck struct {
-	Seq uint64 `json:"seq"`
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"`
-}
-
-// journalled record of one applied transition.
-type stateRec struct {
-	Entity string `json:"entity"`
-	UID    string `json:"uid"`
-	State  string `json:"state"`
-}
+// stateAck is the Synchronizer's acknowledgement of one frame (Fig 2,
+// arrow 7).
+type stateAck = msgcodec.SyncAck
 
 // StateStore is the external-database hook of the failure model (§II-B4).
 // The Synchronizer mirrors every committed transition into it, and a
@@ -85,19 +68,38 @@ func (s *synchronizer) stop() {
 	s.wg.Wait()
 }
 
+// loop drains the states queue one frame at a time. A frame carries every
+// transition request one component issued in one synchronization round-trip
+// (possibly several bulk requests), applied in order and answered with a
+// single ack — the O(1)-per-stage sync path.
 func (s *synchronizer) loop() {
 	defer s.wg.Done()
 	for d := range s.consumer.Deliveries() {
-		var req stateRequest
-		if err := json.Unmarshal(d.Body, &req); err != nil {
+		frame, err := msgcodec.DecodeSyncFrame(d.Body)
+		if err != nil {
 			d.Nack(false) //nolint:errcheck
 			continue
 		}
-		ack := s.apply(&req)
-		body, _ := json.Marshal(ack)
+		ack := stateAck{Seq: frame.Seq, OK: true}
+		for i := range frame.Reqs {
+			if a := s.apply(&frame.Reqs[i]); !a.OK {
+				ack.OK, ack.Err = false, a.Err
+				break
+			}
+		}
+		body, err := s.am.wire().EncodeSyncAck(ack)
+		if err != nil {
+			// An unencodable ack would leave the requester waiting forever:
+			// surface the failure as a component error (which tears the run
+			// down and closes the requester's reply queue) instead of
+			// silently dropping the reply.
+			d.Ack() //nolint:errcheck
+			s.am.finish(fmt.Errorf("core: synchronizer: encode ack: %w", err))
+			continue
+		}
 		// Best effort: the reply queue disappears during tear-down.
-		s.am.brk.Publish(req.Reply, body) //nolint:errcheck
-		d.Ack()                           //nolint:errcheck
+		s.am.brk.Publish(frame.Reply, body) //nolint:errcheck
+		d.Ack()                             //nolint:errcheck
 	}
 }
 
@@ -217,20 +219,19 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 		err = fmt.Errorf("core: unknown entity kind %q", req.Entity)
 	}
 	if err != nil {
-		return stateAck{Seq: req.Seq, OK: false, Err: err.Error()}
+		return stateAck{OK: false, Err: err.Error()}
 	}
 	if s.am.jrn != nil || s.am.cfg.StateStore != nil {
 		for _, c := range commits {
 			if s.am.jrn != nil {
-				if _, jerr := s.am.jrn.Append("state", stateRec{
-					Entity: req.Entity, UID: c.uid, State: req.Target,
-				}); jerr != nil {
-					return stateAck{Seq: req.Seq, OK: false, Err: jerr.Error()}
+				rec := s.am.wire().EncodeStateRec(req.Entity, c.uid, req.Target)
+				if _, jerr := s.am.jrn.AppendRaw("state", rec); jerr != nil {
+					return stateAck{OK: false, Err: jerr.Error()}
 				}
 			}
 			if s.am.cfg.StateStore != nil {
 				if derr := s.am.cfg.StateStore.SaveState(req.Entity, c.uid, req.Target); derr != nil {
-					return stateAck{Seq: req.Seq, OK: false, Err: derr.Error()}
+					return stateAck{OK: false, Err: derr.Error()}
 				}
 			}
 		}
@@ -247,7 +248,7 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 			}
 		}
 	}
-	return stateAck{Seq: req.Seq, OK: true}
+	return stateAck{OK: true}
 }
 
 // trackActivity maintains the count of concurrently managed tasks used for
@@ -267,13 +268,17 @@ func (s *synchronizer) trackActivity(from, to TaskState) {
 }
 
 // syncClient is a component-side handle for requesting transitions. Each
-// subcomponent owns one client with a dedicated ack queue and issues
-// requests serially, so acks match requests one-to-one.
+// subcomponent owns one client with a dedicated ack queue and issues frames
+// serially, so acks match frames one-to-one. A frame is built with begin
+// and the add* methods and sent with flush; related transitions a component
+// used to issue as consecutive round-trips ride one frame, which is what
+// keeps a stage's synchronization cost at O(1) frames instead of O(tasks).
 type syncClient struct {
 	am    *AppManager
 	reply string
 	cons  *broker.Consumer
 	seq   uint64
+	reqs  []stateRequest // frame under construction (reused across frames)
 }
 
 func newSyncClient(am *AppManager, replyQueue string) (*syncClient, error) {
@@ -290,14 +295,51 @@ func (c *syncClient) close() {
 	}
 }
 
-// request asks the Synchronizer for one transition and waits for the ack.
-func (c *syncClient) request(req stateRequest) error {
+// begin starts a fresh frame.
+func (c *syncClient) begin() { c.reqs = c.reqs[:0] }
+
+// add appends one transition request to the frame under construction.
+func (c *syncClient) add(req stateRequest) { c.reqs = append(c.reqs, req) }
+
+// addTask appends a single-entity task transition.
+func (c *syncClient) addTask(t *Task, to TaskState) {
+	c.add(stateRequest{Entity: "task", UID: t.UID, Target: string(to)})
+}
+
+// addTaskBatch appends one transition applied to many tasks. An empty batch
+// contributes nothing to the frame.
+func (c *syncClient) addTaskBatch(ts []*Task, to TaskState) {
+	if len(ts) == 0 {
+		return
+	}
+	uids := make([]string, len(ts))
+	for i, t := range ts {
+		uids[i] = t.UID
+	}
+	c.add(stateRequest{Entity: "task", UIDs: uids, Target: string(to)})
+}
+
+// addTaskResult appends a task transition piggybacking result metadata.
+func (c *syncClient) addTaskResult(t *Task, to TaskState, exitCode int, execErr string) {
+	c.add(stateRequest{
+		Entity: "task", UID: t.UID, Target: string(to),
+		ExitCode: exitCode, ExecErr: execErr,
+	})
+}
+
+// flush sends the frame under construction and waits for the ack. An empty
+// frame is a no-op. Encode failures surface as errors — a dropped frame
+// would otherwise silently wedge the component.
+func (c *syncClient) flush() error {
+	if len(c.reqs) == 0 {
+		return nil
+	}
 	c.seq++
-	req.Reply = c.reply
-	req.Seq = c.seq
-	body, err := json.Marshal(req)
+	body, err := c.am.wire().EncodeSyncFrame(msgcodec.SyncFrame{
+		Reply: c.reply, Seq: c.seq, Reqs: c.reqs,
+	})
 	if err != nil {
-		return err
+		return fmt.Errorf("core: encode sync frame: %w", err)
 	}
 	if err := c.am.brk.Publish(QueueStates, body); err != nil {
 		return err
@@ -307,9 +349,9 @@ func (c *syncClient) request(req stateRequest) error {
 		return broker.ErrClosed
 	}
 	defer d.Ack() //nolint:errcheck
-	var ack stateAck
-	if err := json.Unmarshal(d.Body, &ack); err != nil {
-		return err
+	ack, err := msgcodec.DecodeSyncAck(d.Body)
+	if err != nil {
+		return fmt.Errorf("core: decode sync ack: %w", err)
 	}
 	if ack.Seq != c.seq {
 		return fmt.Errorf("core: ack sequence mismatch: got %d want %d", ack.Seq, c.seq)
@@ -320,29 +362,32 @@ func (c *syncClient) request(req stateRequest) error {
 	return nil
 }
 
-// Convenience wrappers.
-
-func (c *syncClient) task(t *Task, to TaskState) error {
-	return c.request(stateRequest{Entity: "task", UID: t.UID, Target: string(to)})
+// request sends one transition as its own frame and waits for the ack.
+func (c *syncClient) request(req stateRequest) error {
+	c.begin()
+	c.add(req)
+	return c.flush()
 }
 
-// taskBatch applies one transition to many tasks in a single message.
+// Convenience wrappers for single-transition frames.
+
+func (c *syncClient) task(t *Task, to TaskState) error {
+	c.begin()
+	c.addTask(t, to)
+	return c.flush()
+}
+
+// taskBatch applies one transition to many tasks in a single frame.
 func (c *syncClient) taskBatch(ts []*Task, to TaskState) error {
-	if len(ts) == 0 {
-		return nil
-	}
-	uids := make([]string, len(ts))
-	for i, t := range ts {
-		uids[i] = t.UID
-	}
-	return c.request(stateRequest{Entity: "task", UIDs: uids, Target: string(to)})
+	c.begin()
+	c.addTaskBatch(ts, to)
+	return c.flush()
 }
 
 func (c *syncClient) taskResult(t *Task, to TaskState, exitCode int, execErr string) error {
-	return c.request(stateRequest{
-		Entity: "task", UID: t.UID, Target: string(to),
-		ExitCode: exitCode, ExecErr: execErr,
-	})
+	c.begin()
+	c.addTaskResult(t, to, exitCode, execErr)
+	return c.flush()
 }
 
 func (c *syncClient) stage(s *Stage, to StageState) error {
@@ -358,15 +403,16 @@ func (c *syncClient) pipeline(p *Pipeline, to PipelineState) error {
 // "applications can be executed on multiple attempts, without restarting
 // completed tasks"). Tasks caught mid-flight are reset to the initial state
 // for re-scheduling; stages and pipelines are recomputed from task states by
-// the normal scheduling path.
+// the normal scheduling path. State records written by older JSON builds
+// decode transparently (msgcodec sniffs the framing).
 func (am *AppManager) recoverFromJournal() error {
 	final := map[string]string{}
 	err := journal.Replay(am.cfg.JournalPath, func(rec journal.Record) error {
 		if rec.Type != "state" {
 			return nil
 		}
-		var sr stateRec
-		if err := journal.Decode(rec, &sr); err != nil {
+		sr, err := msgcodec.DecodeStateRec(rec.Data)
+		if err != nil {
 			return err
 		}
 		if sr.Entity == "task" {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -173,6 +172,9 @@ func (w *wfProcessor) enqueueRunnable() error {
 // stages and tasks. Cancellation cascades: pipelines depending on this one
 // observe its CANCELED state on the next enqueue pass.
 func (w *wfProcessor) cancelUnstarted(p *Pipeline) error {
+	// The whole cascade — every stage's fresh tasks, the stages themselves
+	// and the pipeline — rides one sync frame.
+	w.enqSync.begin()
 	for _, s := range p.Stages() {
 		var fresh []*Task
 		for _, t := range s.Tasks() {
@@ -180,16 +182,13 @@ func (w *wfProcessor) cancelUnstarted(p *Pipeline) error {
 				fresh = append(fresh, t)
 			}
 		}
-		if err := w.enqSync.taskBatch(fresh, TaskCanceled); err != nil {
-			return err
-		}
+		w.enqSync.addTaskBatch(fresh, TaskCanceled)
 		if s.State() == StageInitial {
-			if err := w.enqSync.stage(s, StageCanceled); err != nil {
-				return err
-			}
+			w.enqSync.add(stateRequest{Entity: "stage", UID: s.UID, Target: string(StageCanceled)})
 		}
 	}
-	if err := w.enqSync.pipeline(p, PipelineCanceled); err != nil {
+	w.enqSync.add(stateRequest{Entity: "pipeline", UID: p.UID, Target: string(PipelineCanceled)})
+	if err := w.enqSync.flush(); err != nil {
 		return err
 	}
 	w.am.completionMu.Lock()
@@ -204,22 +203,23 @@ func (w *wfProcessor) cancelUnstarted(p *Pipeline) error {
 // scheduleStage tags a stage's unscheduled tasks and pushes them to the
 // pending queue (paper Fig 2, arrow 1).
 func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
-	if err := w.enqSync.stage(stage, StageScheduling); err != nil {
-		return err
-	}
 	var runnable []*Task
 	for _, t := range stage.Tasks() {
 		if t.State() == TaskInitial {
 			runnable = append(runnable, t)
 		} // otherwise recovered as DONE (or already processed)
 	}
-	// Bulk transitions keep synchronization traffic O(stages). Tasks must
-	// be in SCHEDULED before their pending messages become visible, or the
-	// Emgr can race past its transitions.
-	if err := w.enqSync.taskBatch(runnable, TaskScheduling); err != nil {
-		return err
-	}
-	if err := w.enqSync.taskBatch(runnable, TaskScheduled); err != nil {
+	// The stage transition and both bulk task transitions ride a single
+	// sync frame: scheduling a stage costs O(1) synchronization
+	// round-trips regardless of task count. Tasks must be in SCHEDULED
+	// before their pending messages become visible, or the Emgr can race
+	// past its transitions — the frame's ack guarantees all three commits
+	// precede the publish below.
+	w.enqSync.begin()
+	w.enqSync.add(stateRequest{Entity: "stage", UID: stage.UID, Target: string(StageScheduling)})
+	w.enqSync.addTaskBatch(runnable, TaskScheduling)
+	w.enqSync.addTaskBatch(runnable, TaskScheduled)
+	if err := w.enqSync.flush(); err != nil {
 		return err
 	}
 	if len(runnable) > 0 {
@@ -240,7 +240,7 @@ func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
 			for _, t := range runnable[start:end] {
 				w.uidScratch = append(w.uidScratch, t.UID)
 			}
-			bodies = append(bodies, msgcodec.EncodeTaskUIDs(w.uidScratch))
+			bodies = append(bodies, w.am.wire().EncodeTaskUIDs(w.uidScratch))
 		}
 		if err := w.pendP.PublishBatch(bodies); err != nil {
 			return err
@@ -297,8 +297,8 @@ func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
 	var canceled []*Task
 	var drops []*broker.Delivery // malformed messages: batch-dropped
 	for _, d := range batch {
-		var results []TaskResult
-		if err := json.Unmarshal(d.Body, &results); err != nil {
+		results, err := msgcodec.DecodeTaskResults(d.Body)
+		if err != nil {
 			drops = append(drops, d)
 			continue
 		}
@@ -336,24 +336,23 @@ func (w *wfProcessor) handleResultBatch(batch []*broker.Delivery) error {
 	}
 
 	// The RTS reported these attempts finished: SUBMITTED -> EXECUTED, then
-	// the terminal state for this attempt.
-	if err := w.deqSync.taskBatch(succeeded, TaskExecuted); err != nil {
-		return err
-	}
-	if err := w.deqSync.taskBatch(succeeded, TaskDone); err != nil {
-		return err
-	}
-	if err := w.deqSync.taskBatch(canceled, TaskExecuted); err != nil {
-		return err
-	}
-	if err := w.deqSync.taskBatch(canceled, TaskCanceled); err != nil {
+	// the terminal state for this attempt. The whole drain's bulk
+	// transitions ride one sync frame — one round-trip however many tasks
+	// the batch settled; failures (rare) follow individually so exit codes
+	// and the resubmission policy stay per-task.
+	w.deqSync.begin()
+	w.deqSync.addTaskBatch(succeeded, TaskExecuted)
+	w.deqSync.addTaskBatch(succeeded, TaskDone)
+	w.deqSync.addTaskBatch(canceled, TaskExecuted)
+	w.deqSync.addTaskBatch(canceled, TaskCanceled)
+	if err := w.deqSync.flush(); err != nil {
 		return err
 	}
 	for _, f := range failures {
-		if err := w.deqSync.taskResult(f.t, TaskExecuted, f.res.ExitCode, f.res.Error); err != nil {
-			return err
-		}
-		if err := w.deqSync.task(f.t, TaskFailed); err != nil {
+		w.deqSync.begin()
+		w.deqSync.addTaskResult(f.t, TaskExecuted, f.res.ExitCode, f.res.Error)
+		w.deqSync.addTask(f.t, TaskFailed)
+		if err := w.deqSync.flush(); err != nil {
 			return err
 		}
 	}
@@ -409,13 +408,13 @@ func (w *wfProcessor) resubmit(t *Task) error {
 	if stage != nil && stage.State().Terminal() {
 		return nil // stage canceled (or settled) under us; retry is moot
 	}
-	if err := w.deqSync.task(t, TaskScheduling); err != nil {
+	w.deqSync.begin()
+	w.deqSync.addTask(t, TaskScheduling)
+	w.deqSync.addTask(t, TaskScheduled)
+	if err := w.deqSync.flush(); err != nil {
 		return err
 	}
-	if err := w.deqSync.task(t, TaskScheduled); err != nil {
-		return err
-	}
-	return w.pendP.Publish(msgcodec.EncodeTaskUID(t.UID))
+	return w.pendP.Publish(w.am.wire().EncodeTaskUID(t.UID))
 }
 
 // maybeCompleteStage finishes a stage whose tasks are all terminal, runs its

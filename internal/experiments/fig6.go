@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/msgcodec"
 )
 
 // Fig6Row is one configuration of the prototype benchmark (Fig 6):
@@ -21,6 +21,9 @@ type Fig6Row struct {
 	// Batch is the broker batch size used; 0 or 1 means the per-message
 	// path (the paper's original configuration).
 	Batch int
+	// Wire is the task-body codec used: "json" (the paper's original
+	// encoding) or "binary" (the msgcodec wire format).
+	Wire string
 
 	ProducerTime  time.Duration // wall time until all tasks are published
 	ConsumerTime  time.Duration // wall time until all tasks are consumed
@@ -35,14 +38,10 @@ type Fig6Row struct {
 	DecodeFailures int
 }
 
-// fig6Task is the task object pushed through the queues, shaped like an
-// EnTK task description.
-type fig6Task struct {
-	UID        string   `json:"uid"`
-	Executable string   `json:"executable"`
-	Arguments  []string `json:"arguments"`
-	Cores      int      `json:"cores"`
-}
+// The task object pushed through the queues — msgcodec.Fig6Task, shaped
+// like an EnTK task description — is encoded per Fig6Row.Wire: the paper's
+// original JSON, or the binary wire format whose pooled encoder removed the
+// per-task json.Marshal that used to dominate this benchmark.
 
 // Fig6Prototype benchmarks the broker-centred core of EnTK exactly as the
 // paper's prototype does: P producers push task objects into Q queues, C
@@ -57,7 +56,7 @@ func Fig6Prototype(tasks int, configs []int) ([]Fig6Row, error) {
 	}
 	var rows []Fig6Row
 	for _, n := range configs {
-		row, err := fig6Run(tasks, n, n, n, 0)
+		row, err := fig6Run(tasks, n, n, n, 0, msgcodec.FormatJSON)
 		if err != nil {
 			return nil, err
 		}
@@ -68,10 +67,12 @@ func Fig6Prototype(tasks int, configs []int) ([]Fig6Row, error) {
 
 // Fig6Batched is the batched-broker variant of the prototype benchmark:
 // identical producer/consumer/queue topology, but producers publish bodies
-// through PublishBatch in chunks of batch and consumers drain through
-// pull-mode ReceiveBatch with batch acknowledgements. Comparing a
-// Fig6Batched row against the Fig6Prototype row of the same shape isolates
-// the broker hot-path amortization the batch API buys.
+// through PublishBatch in chunks of batch, consumers drain through
+// pull-mode ReceiveBatch with batch acknowledgements, and task bodies use
+// the binary wire codec (per-task JSON marshalling dominated the batched
+// harness; see Fig6Wire for the codec ablation). Comparing a Fig6Batched
+// row against the Fig6Prototype row of the same shape isolates the full
+// broker + codec fast path.
 func Fig6Batched(tasks, batch int, configs []int) ([]Fig6Row, error) {
 	if tasks <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive task count")
@@ -84,7 +85,36 @@ func Fig6Batched(tasks, batch int, configs []int) ([]Fig6Row, error) {
 	}
 	var rows []Fig6Row
 	for _, n := range configs {
-		row, err := fig6Run(tasks, n, n, n, batch)
+		row, err := fig6Run(tasks, n, n, n, batch, msgcodec.FormatBinary)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Wire is the codec ablation of the batched prototype benchmark: the
+// same topology and batch width, with task bodies encoded per format
+// ("json" or "binary"). Comparing the two isolates what the binary wire
+// codec buys once the broker itself is batched.
+func Fig6Wire(tasks, batch int, configs []int, format string) ([]Fig6Row, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive task count")
+	}
+	if batch <= 1 {
+		return nil, fmt.Errorf("experiments: batch must exceed 1 (got %d)", batch)
+	}
+	wire, err := msgcodec.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if len(configs) == 0 {
+		configs = []int{1, 2, 4, 8}
+	}
+	var rows []Fig6Row
+	for _, n := range configs {
+		row, err := fig6Run(tasks, n, n, n, batch, wire)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +145,7 @@ func Fig6Grid(tasks int, batches, configs []int) ([]Fig6Row, error) {
 			return nil, fmt.Errorf("experiments: non-positive batch size %d", batch)
 		}
 		for _, n := range configs {
-			row, err := fig6Run(tasks, n, n, n, batch)
+			row, err := fig6Run(tasks, n, n, n, batch, msgcodec.FormatBinary)
 			if err != nil {
 				return nil, err
 			}
@@ -131,7 +161,7 @@ func Fig6Uneven(tasks int) ([]Fig6Row, error) {
 	shapes := [][3]int{{8, 1, 1}, {1, 8, 1}, {4, 8, 4}}
 	var rows []Fig6Row
 	for _, s := range shapes {
-		row, err := fig6Run(tasks, s[0], s[1], s[2], 0)
+		row, err := fig6Run(tasks, s[0], s[1], s[2], 0, msgcodec.FormatJSON)
 		if err != nil {
 			return nil, err
 		}
@@ -183,8 +213,9 @@ func startPeakSampler(baseMB float64) (stop func() float64) {
 // fig6Run executes one prototype configuration. batch <= 1 selects the
 // per-message broker path (the paper's original setup); batch > 1 moves
 // the same task volume over the batched fast path (PublishBatch in chunks
-// of batch, pull-mode ReceiveBatch with batch acknowledgements).
-func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
+// of batch, pull-mode ReceiveBatch with batch acknowledgements). wire
+// selects the task-body codec.
+func fig6Run(tasks, producers, consumers, queues, batch int, wire msgcodec.Format) (Fig6Row, error) {
 	b := broker.New(broker.Options{})
 	defer b.Close()
 	qnames := make([]string, queues)
@@ -195,7 +226,10 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 		}
 	}
 
-	row := Fig6Row{Producers: producers, Consumers: consumers, Queues: queues, Tasks: tasks}
+	row := Fig6Row{
+		Producers: producers, Consumers: consumers, Queues: queues,
+		Tasks: tasks, Wire: wire.String(),
+	}
 	if batch > 1 {
 		row.Batch = batch
 	}
@@ -220,13 +254,14 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 			if batch > 1 {
 				bodies = make([][]byte, 0, batch)
 			}
+			t := msgcodec.Fig6Task{
+				Executable: "sleep",
+				Arguments:  []string{"0"},
+				Cores:      1,
+			}
 			for i := 0; i < n; i++ {
-				body, _ := json.Marshal(fig6Task{
-					UID:        fmt.Sprintf("task.%06d.%06d", p, i),
-					Executable: "sleep",
-					Arguments:  []string{"0"},
-					Cores:      1,
-				})
+				t.UID = fmt.Sprintf("task.%06d.%06d", p, i)
+				body := wire.EncodeFig6Task(&t)
 				if batch <= 1 {
 					b.Publish(q, body) //nolint:errcheck
 					continue
@@ -269,8 +304,8 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 						}
 						// "Empty RTS module": decode and drop, counting
 						// (rather than swallowing) decode failures.
-						var t fig6Task
-						if err := json.Unmarshal(d.Body, &t); err != nil {
+						var t msgcodec.Fig6Task
+						if err := msgcodec.DecodeFig6Task(d.Body, &t); err != nil {
 							decodeFailures.Add(1)
 						}
 						d.Ack() //nolint:errcheck
@@ -296,8 +331,8 @@ func fig6Run(tasks, producers, consumers, queues, batch int) (Fig6Row, error) {
 				// "Empty RTS module": decode and drop, counting (rather
 				// than swallowing) decode failures.
 				for _, d := range ds {
-					var t fig6Task
-					if err := json.Unmarshal(d.Body, &t); err != nil {
+					var t msgcodec.Fig6Task
+					if err := msgcodec.DecodeFig6Task(d.Body, &t); err != nil {
 						decodeFailures.Add(1)
 					}
 				}

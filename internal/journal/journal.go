@@ -4,9 +4,13 @@
 // the state of the execution up to the latest successful transaction").
 //
 // The journal substitutes both RabbitMQ's message durability and the external
-// database the paper mentions as a hook. Records are length-prefixed JSON so
-// a partially written trailing record (a crash mid-append) is detected and
-// discarded during replay instead of corrupting recovery.
+// database the paper mentions as a hook. Records are length-prefixed and
+// CRC-protected so a partially written trailing record (a crash mid-append)
+// is detected and discarded during replay instead of corrupting recovery.
+// Record payloads use the msgcodec binary framing by default (one pooled
+// buffer, no JSON on the append path); replay sniffs each payload's first
+// byte, so journals written with the old JSON framing — or with
+// Options.Format set to the JSON debugging format — replay transparently.
 package journal
 
 import (
@@ -19,11 +23,16 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/msgcodec"
 )
 
 // Record is a single journal entry. Type namespaces the payload (for example
 // "task.state" or "broker.publish"); Seq is assigned by the journal and is
-// strictly increasing within a file.
+// strictly increasing within a file. Data holds the record's opaque payload:
+// JSON for records appended via Append or read back from JSON-framed
+// journals, and possibly a msgcodec binary frame for records appended via
+// AppendRaw (consumers sniff, exactly like the msgcodec decoders).
 type Record struct {
 	Seq  uint64          `json:"seq"`
 	Type string          `json:"type"`
@@ -38,6 +47,8 @@ type Journal struct {
 	path   string
 	seq    uint64
 	sync   bool
+	format msgcodec.Format
+	buf    []byte // scratch for header + payload, reused under mu
 	closed bool
 }
 
@@ -46,12 +57,20 @@ type Options struct {
 	// Sync forces an fsync after every append. Slower, but a crash loses at
 	// most the record being written. Off by default: the OS flushes on close.
 	Sync bool
+	// Format selects the record framing: msgcodec.FormatBinary (the zero
+	// value and default) writes binary frames; msgcodec.FormatJSON writes
+	// the original length-prefixed JSON records for inspection. Replay
+	// accepts both regardless of this setting.
+	Format msgcodec.Format
 }
 
 // ErrClosed is returned by operations on a closed journal.
 var ErrClosed = errors.New("journal: closed")
 
 const headerLen = 4 + 4 // payload length + CRC32 of payload
+
+// maxRetainedScratch bounds the append scratch buffer kept across records.
+const maxRetainedScratch = 64 << 10
 
 // Open creates or opens the journal file at path for appending. Existing
 // records are preserved; the sequence counter resumes after the last valid
@@ -77,7 +96,25 @@ func Open(path string, opts Options) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: seek: %w", err)
 	}
-	return &Journal{f: f, path: path, seq: last, sync: opts.Sync}, nil
+	return &Journal{f: f, path: path, seq: last, sync: opts.Sync, format: opts.Format}, nil
+}
+
+// decodePayload turns one CRC-validated record payload into a Record,
+// sniffing the framing: a msgcodec magic byte selects the binary frame,
+// anything else is the original JSON record.
+func decodePayload(payload []byte) (Record, error) {
+	if msgcodec.IsBinary(payload) {
+		seq, recType, data, err := msgcodec.DecodeJournalRec(payload)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Seq: seq, Type: recType, Data: data}, nil
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
 }
 
 // scan walks the journal file, returning the last valid sequence number and
@@ -106,8 +143,8 @@ func scan(path string) (lastSeq uint64, validLen int64, err error) {
 		if crc32.ChecksumIEEE(payload) != crc {
 			return lastSeq, off, nil // corrupted record: treat as tail
 		}
-		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		rec, err := decodePayload(payload)
+		if err != nil {
 			return lastSeq, off, nil
 		}
 		lastSeq = rec.Seq
@@ -116,30 +153,56 @@ func scan(path string) (lastSeq uint64, validLen int64, err error) {
 }
 
 // Append serializes data as JSON and appends a record of the given type,
-// returning the assigned sequence number.
+// returning the assigned sequence number. Hot-path writers with their own
+// wire encoding use AppendRaw instead.
 func (j *Journal) Append(recType string, data interface{}) (uint64, error) {
 	raw, err := json.Marshal(data)
 	if err != nil {
 		return 0, fmt.Errorf("journal: marshal %q: %w", recType, err)
 	}
+	return j.AppendRaw(recType, raw)
+}
+
+// AppendRaw appends a record whose payload is already encoded — a msgcodec
+// binary frame or pre-marshalled JSON — returning the assigned sequence
+// number. On a binary-format journal the record framing reuses the
+// journal's scratch buffer, so the append allocates nothing. A JSON-format
+// journal requires data to be valid JSON (it is embedded in the record
+// document verbatim).
+func (j *Journal) AppendRaw(recType string, data []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return 0, ErrClosed
 	}
-	j.seq++
-	rec := Record{Seq: j.seq, Type: recType, Data: raw}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return 0, fmt.Errorf("journal: marshal record: %w", err)
+	seq := j.seq + 1
+	// Build header + payload in one scratch buffer and write once.
+	buf := append(j.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	if j.format == msgcodec.FormatJSON {
+		rec := Record{Seq: seq, Type: recType, Data: data}
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return 0, fmt.Errorf("journal: marshal record: %w", err)
+		}
+		buf = append(buf, payload...)
+	} else {
+		buf = msgcodec.AppendJournalRec(buf, seq, recType, data)
 	}
-	buf := make([]byte, headerLen+len(payload))
+	payload := buf[headerLen:]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[headerLen:], payload)
+	// Retain the scratch only while it is modestly sized: one oversized
+	// record (a large durable publish batch) must not pin its buffer for
+	// the journal's lifetime.
+	if cap(buf) <= maxRetainedScratch {
+		j.buf = buf
+	} else {
+		j.buf = nil
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		return 0, fmt.Errorf("journal: write: %w", err)
 	}
+	j.seq = seq
 	if j.sync {
 		if err := j.f.Sync(); err != nil {
 			return 0, fmt.Errorf("journal: sync: %w", err)
@@ -158,6 +221,11 @@ func (j *Journal) Seq() uint64 {
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
+// Format returns the record framing this journal writes. Writers that
+// encode their own payloads (e.g. the broker's durability records) use it
+// so payload and framing formats can never disagree.
+func (j *Journal) Format() msgcodec.Format { return j.format }
+
 // Close flushes and closes the journal file.
 func (j *Journal) Close() error {
 	j.mu.Lock()
@@ -174,7 +242,9 @@ func (j *Journal) Close() error {
 }
 
 // Replay reads every valid record in the journal at path, in order, invoking
-// fn for each. A torn or corrupted tail terminates replay silently, matching
+// fn for each. Both record framings — binary frames and the original JSON —
+// are decoded transparently, so recovery from pre-existing journals keeps
+// working. A torn or corrupted tail terminates replay silently, matching
 // crash-recovery semantics. Replay of a non-existent file is a no-op.
 func Replay(path string, fn func(Record) error) error {
 	f, err := os.Open(path)
@@ -199,8 +269,8 @@ func Replay(path string, fn func(Record) error) error {
 		if crc32.ChecksumIEEE(payload) != crc {
 			return nil
 		}
-		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		rec, err := decodePayload(payload)
+		if err != nil {
 			return nil
 		}
 		if err := fn(rec); err != nil {
@@ -209,7 +279,9 @@ func Replay(path string, fn func(Record) error) error {
 	}
 }
 
-// Decode unmarshals a record's payload into v.
+// Decode unmarshals a record's JSON payload into v. Records whose payload
+// is a msgcodec binary frame are decoded with the matching msgcodec
+// decoder instead (for example DecodeStateRec), which also accepts JSON.
 func Decode(rec Record, v interface{}) error {
 	return json.Unmarshal(rec.Data, v)
 }

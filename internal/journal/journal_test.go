@@ -1,12 +1,17 @@
 package journal
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/msgcodec"
 )
 
 type payload struct {
@@ -284,5 +289,148 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// writeLegacyJSONRecord appends one record to f using the pre-binary
+// framing: length + CRC header over a json.Marshal'd Record document. This
+// is byte-for-byte what older builds wrote, reconstructed here so the
+// backward-compatibility contract is pinned against the real old format,
+// not against the current writer.
+func writeLegacyJSONRecord(t *testing.T, f *os.File, seq uint64, recType string, data string) {
+	t.Helper()
+	payload, err := json.Marshal(Record{Seq: seq, Type: recType, Data: json.RawMessage(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerLen:], payload)
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJSONJournalReplayCompat writes a journal with the old JSON framing,
+// replays it through the binary-first reader, and asserts the recovered
+// records are identical — the durable-queue/state-recovery compatibility
+// contract of the wire-format migration.
+func TestJSONJournalReplayCompat(t *testing.T) {
+	path := tmpJournal(t)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		typ  string
+		data string
+	}{
+		{"state", `{"entity":"task","uid":"task.0001","state":"DONE"}`},
+		{"state", `{"entity":"stage","uid":"stage.0001","state":"DONE"}`},
+		{"broker.ack", `{"q":"pending","id":7}`},
+	}
+	for i, w := range want {
+		writeLegacyJSONRecord(t, f, uint64(i+1), w.typ, w.data)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	if err := Replay(path, func(rec Record) error {
+		got = append(got, Record{Seq: rec.Seq, Type: rec.Type, Data: append(json.RawMessage(nil), rec.Data...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, rec := range got {
+		if rec.Seq != uint64(i+1) || rec.Type != want[i].typ || string(rec.Data) != want[i].data {
+			t.Fatalf("record %d drifted: %+v", i, rec)
+		}
+	}
+}
+
+// TestMixedFramingJournal reopens a legacy JSON-framed journal with the
+// binary-first writer, appends binary records, and asserts replay yields
+// the union in order with a contiguous sequence.
+func TestMixedFramingJournal(t *testing.T) {
+	path := tmpJournal(t)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLegacyJSONRecord(t, f, 1, "state", `{"entity":"task","uid":"t.1","state":"DONE"}`)
+	writeLegacyJSONRecord(t, f, 2, "state", `{"entity":"task","uid":"t.2","state":"DONE"}`)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Open(path, Options{}) // binary framing by default
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.AppendRaw("state", msgcodec.FormatBinary.EncodeStateRec("task", "t.3", "DONE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("binary append after JSON prefix: seq = %d, want 3", seq)
+	}
+	j.Close()
+
+	var uids []string
+	if err := Replay(path, func(rec Record) error {
+		sr, err := msgcodec.DecodeStateRec(rec.Data)
+		if err != nil {
+			return err
+		}
+		uids = append(uids, sr.UID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(uids) != 3 || uids[0] != "t.1" || uids[1] != "t.2" || uids[2] != "t.3" {
+		t.Fatalf("mixed replay drifted: %q", uids)
+	}
+}
+
+// TestJSONFormatOption pins the WireFormat debugging knob: a JSON-format
+// journal writes records the old framing spells, readable by eye and by
+// the sniffing reader alike.
+func TestJSONFormatOption(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path, Options{Format: msgcodec.FormatJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("task.state", payload{Name: "t0", Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw[headerLen:]) {
+		t.Fatalf("JSON-format journal wrote a non-JSON payload: %q", raw[headerLen:])
+	}
+	var got []payload
+	if err := Replay(path, func(rec Record) error {
+		var p payload
+		if err := Decode(rec, &p); err != nil {
+			return err
+		}
+		got = append(got, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Value != 7 {
+		t.Fatalf("JSON-format replay drifted: %+v", got)
 	}
 }

@@ -1,10 +1,22 @@
-// Package msgcodec implements the wire codec for the broker's task-traffic
-// messages. The hot object is the pending-queue message — a task-UID batch
-// shaped {"task_uids":["..."]} — which the WFProcessor encodes once per
-// published chunk and the Emgr decodes once per consumed message. Encoding
-// writes into a pooled scratch buffer and returns a single exact-size copy,
-// so the steady-state cost is one allocation per message regardless of
-// batch width (the ROADMAP's "JSON dominates Fig 6" follow-up).
+// Package msgcodec implements the versioned wire-format layer for every
+// steady-state control-plane message in the stack: pending-queue task-UID
+// batches, synchronizer transition frames and acks, done-queue task-result
+// batches, Fig 6 prototype task bodies, journal record framing and the
+// broker's durability records.
+//
+// Two formats share one decode path. The binary format (the default) frames
+// each message as
+//
+//	[magic 0xBF] [version] [frame type] [typed payload]
+//
+// with varint/length-prefixed fields and pooled scratch buffers, so the
+// steady-state cost of an encode is one allocation — the exact-size body —
+// regardless of batch width. The JSON format (`WireFormat: "json"`) keeps
+// every message human-readable for debugging and inspection. Decoders sniff
+// the first byte: a magic byte selects the binary path, anything else falls
+// back to JSON — which is also what keeps replay of pre-existing JSON
+// journals and mixed-version durable queues working transparently. See
+// docs/wire-format.md for the layout and compatibility rules.
 package msgcodec
 
 import (
@@ -13,11 +25,70 @@ import (
 	"sync"
 )
 
-// pendingMsg is the wire shape of one pending-queue message. It is kept
-// JSON-compatible with the original encoding, so mixed-version journals
-// replay cleanly.
-type pendingMsg struct {
-	TaskUIDs []string `json:"task_uids"`
+// Magic is the first byte of every binary frame. It can never begin a JSON
+// document (0xBF is a UTF-8 continuation byte), which is what makes
+// format sniffing unambiguous.
+const Magic byte = 0xBF
+
+// Version is the current binary wire-format version, written as the second
+// byte of every frame. Decoders reject frames with a newer version instead
+// of misparsing them.
+const Version byte = 1
+
+// Frame types, written as the third byte of every binary frame. A decoder
+// for one message type rejects frames of another instead of misparsing.
+const (
+	FrameTaskUIDs    byte = 0x01 // pending-queue task-UID batch
+	FrameSyncFrame   byte = 0x02 // synchronizer transition-request frame
+	FrameSyncAck     byte = 0x03 // synchronizer acknowledgement
+	FrameTaskResults byte = 0x04 // done-queue task-result batch
+	FrameFig6Task    byte = 0x05 // Fig 6 prototype task body
+	FrameJournalRec  byte = 0x06 // journal record framing
+	FrameStateRec    byte = 0x07 // journaled state-transition record
+
+	FrameBrokerPublish      byte = 0x10 // durable-queue publish record
+	FrameBrokerAck          byte = 0x11 // durable-queue ack record
+	FrameBrokerPublishBatch byte = 0x12 // durable-queue batched publish record
+	FrameBrokerAckBatch     byte = 0x13 // durable-queue batched ack record
+)
+
+// Format selects the encoding of control-plane messages. The zero value is
+// the binary format.
+type Format uint8
+
+const (
+	// FormatBinary is the versioned binary framing — the default.
+	FormatBinary Format = iota
+	// FormatJSON keeps every control message human-readable; decoders
+	// accept it unconditionally, so it is safe to flip per run.
+	FormatJSON
+)
+
+// String returns the knob spelling of the format.
+func (f Format) String() string {
+	if f == FormatJSON {
+		return "json"
+	}
+	return "binary"
+}
+
+// ParseFormat parses the WireFormat knob. The empty string selects the
+// binary default.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "binary":
+		return FormatBinary, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return FormatBinary, fmt.Errorf("msgcodec: unknown wire format %q (want \"binary\" or \"json\")", s)
+	}
+}
+
+// IsBinary reports whether body carries a binary frame (as opposed to a
+// JSON document).
+func IsBinary(body []byte) bool {
+	return len(body) > 0 && body[0] == Magic
 }
 
 var bufPool = sync.Pool{
@@ -27,20 +98,16 @@ var bufPool = sync.Pool{
 	},
 }
 
-// EncodeTaskUIDs encodes a pending-queue message for the given task UIDs.
-// The returned slice is freshly allocated (the broker retains message
-// bodies), but all intermediate encoding state comes from a pool.
-func EncodeTaskUIDs(uids []string) []byte {
+// getBuf returns a pooled scratch buffer, truncated to zero length.
+func getBuf() (*[]byte, []byte) {
 	bp := bufPool.Get().(*[]byte)
-	buf := (*bp)[:0]
-	buf = append(buf, `{"task_uids":[`...)
-	for i, uid := range uids {
-		if i > 0 {
-			buf = append(buf, ',')
-		}
-		buf = appendJSONString(buf, uid)
-	}
-	buf = append(buf, ']', '}')
+	return bp, (*bp)[:0]
+}
+
+// putBuf returns the (exact-size copy of the) encoded buffer and recycles
+// the scratch. All encoders end here: one allocation per message, the body
+// itself, because the broker retains message bodies.
+func putBuf(bp *[]byte, buf []byte) []byte {
 	out := make([]byte, len(buf))
 	copy(out, buf)
 	*bp = buf
@@ -48,13 +115,62 @@ func EncodeTaskUIDs(uids []string) []byte {
 	return out
 }
 
-// EncodeTaskUID encodes a single-task pending message.
-func EncodeTaskUID(uid string) []byte {
-	return EncodeTaskUIDs([]string{uid})
+// ---- pending-queue task-UID batches -------------------------------------
+
+// pendingMsg is the JSON wire shape of one pending-queue message, kept
+// compatible with the original encoding so mixed-version durable journals
+// replay cleanly.
+type pendingMsg struct {
+	TaskUIDs []string `json:"task_uids"`
 }
 
-// DecodeTaskUIDs decodes a pending-queue message body.
+// EncodeTaskUIDs encodes a pending-queue message for the given task UIDs in
+// format f. Infallible: both formats are hand-rolled appends.
+func (f Format) EncodeTaskUIDs(uids []string) []byte {
+	bp, buf := getBuf()
+	if f == FormatJSON {
+		buf = append(buf, `{"task_uids":[`...)
+		for i, uid := range uids {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, uid)
+		}
+		buf = append(buf, ']', '}')
+		return putBuf(bp, buf)
+	}
+	buf = appendHeader(buf, FrameTaskUIDs)
+	buf = appendUvarint(buf, uint64(len(uids)))
+	for _, uid := range uids {
+		buf = appendString(buf, uid)
+	}
+	return putBuf(bp, buf)
+}
+
+// EncodeTaskUID encodes a single-task pending message.
+func (f Format) EncodeTaskUID(uid string) []byte {
+	return f.EncodeTaskUIDs([]string{uid})
+}
+
+// DecodeTaskUIDs decodes a pending-queue message body of either format.
 func DecodeTaskUIDs(body []byte) ([]string, error) {
+	if IsBinary(body) {
+		r, err := frameReader(body, FrameTaskUIDs)
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		uids := make([]string, n)
+		for i := range uids {
+			if uids[i], err = r.str(); err != nil {
+				return nil, err
+			}
+		}
+		return uids, nil
+	}
 	var msg pendingMsg
 	if err := json.Unmarshal(body, &msg); err != nil {
 		return nil, fmt.Errorf("msgcodec: pending message: %w", err)

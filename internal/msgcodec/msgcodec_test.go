@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+	"time"
 )
+
+var formats = []Format{FormatBinary, FormatJSON}
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	cases := [][]string{
@@ -18,16 +21,25 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{`task."quoted"`, `back\slash`, "tab\there", "unicode-日本語", "bad\xff utf8"},
 	}
 	for _, uids := range cases {
-		body := EncodeTaskUIDs(uids)
+		// Binary: exact round trip, bytes included.
+		got, err := DecodeTaskUIDs(FormatBinary.EncodeTaskUIDs(uids))
+		if err != nil {
+			t.Fatalf("binary round trip %q: %v", uids, err)
+		}
+		if len(got) != len(uids) || (len(uids) > 0 && !reflect.DeepEqual(got, uids)) {
+			t.Fatalf("binary round trip %q: got %q", uids, got)
+		}
+
+		// JSON: identical to what the stdlib round-trip would yield
+		// (invalid UTF-8 is replaced by U+FFFD in both paths).
+		body := FormatJSON.EncodeTaskUIDs(uids)
 		if !json.Valid(body) {
 			t.Fatalf("EncodeTaskUIDs(%q) produced invalid JSON: %s", uids, body)
 		}
-		got, err := DecodeTaskUIDs(body)
+		got, err = DecodeTaskUIDs(body)
 		if err != nil {
 			t.Fatalf("DecodeTaskUIDs(%s): %v", body, err)
 		}
-		// Compare against what the stdlib round-trip would yield (invalid
-		// UTF-8 is replaced by U+FFFD in both paths).
 		ref, _ := json.Marshal(pendingMsg{TaskUIDs: uids})
 		var want pendingMsg
 		if err := json.Unmarshal(ref, &want); err != nil {
@@ -45,7 +57,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestEncodeMatchesStdlibShape(t *testing.T) {
 	uids := []string{"task.000001", "task.000002"}
 	want, _ := json.Marshal(pendingMsg{TaskUIDs: uids})
-	got := EncodeTaskUIDs(uids)
+	got := FormatJSON.EncodeTaskUIDs(uids)
 	if string(got) != string(want) {
 		t.Fatalf("wire shape drifted: got %s want %s", got, want)
 	}
@@ -58,14 +70,302 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeTaskUIDs([]byte(`not json`)); err == nil {
 		t.Fatal("non-JSON message accepted")
 	}
-}
-
-func TestEncodeSingle(t *testing.T) {
-	got, err := DecodeTaskUIDs(EncodeTaskUID("task.42"))
+	// Binary frames of the wrong type, version or length must error too.
+	if _, err := DecodeTaskUIDs([]byte{Magic}); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, err := DecodeTaskUIDs([]byte{Magic, Version + 1, FrameTaskUIDs}); err == nil {
+		t.Fatal("future version accepted")
+	}
+	ackBody, err := FormatBinary.EncodeSyncAck(SyncAck{Seq: 1, OK: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || got[0] != "task.42" {
-		t.Fatalf("got %q", got)
+	if _, err := DecodeTaskUIDs(ackBody); err == nil {
+		t.Fatal("cross-type frame accepted")
 	}
+}
+
+func TestEncodeSingle(t *testing.T) {
+	for _, f := range formats {
+		got, err := DecodeTaskUIDs(f.EncodeTaskUID("task.42"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != "task.42" {
+			t.Fatalf("%v: got %q", f, got)
+		}
+	}
+}
+
+func TestSyncFrameRoundTrip(t *testing.T) {
+	frames := []SyncFrame{
+		{Reply: "sync-ack-enq", Seq: 7, Reqs: []SyncRequest{
+			{Entity: "stage", UID: "stage.0001", Target: "SCHEDULING"},
+			{Entity: "task", UIDs: []string{"t.1", "t.2", "t.3"}, Target: "SCHEDULING"},
+			{Entity: "task", UIDs: []string{"t.1", "t.2", "t.3"}, Target: "SCHEDULED"},
+		}},
+		{Reply: "sync-ack-deq", Seq: 1, Reqs: []SyncRequest{
+			{Entity: "task", UID: "t.9", Target: "EXECUTED", ExitCode: -1, ExecErr: "rts failure"},
+		}},
+		{Reply: "q", Seq: 0, Reqs: []SyncRequest{}},
+	}
+	for _, f := range formats {
+		for _, fr := range frames {
+			body, err := f.EncodeSyncFrame(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeSyncFrame(body)
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if got.Reply != fr.Reply || got.Seq != fr.Seq || len(got.Reqs) != len(fr.Reqs) {
+				t.Fatalf("%v: frame header drifted: %+v vs %+v", f, got, fr)
+			}
+			for i := range fr.Reqs {
+				if !reflect.DeepEqual(got.Reqs[i], fr.Reqs[i]) {
+					t.Fatalf("%v: req %d: got %+v want %+v", f, i, got.Reqs[i], fr.Reqs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSyncAckRoundTrip(t *testing.T) {
+	acks := []SyncAck{
+		{Seq: 42, OK: true},
+		{Seq: 1, OK: false, Err: "core: unknown task t.404"},
+	}
+	for _, f := range formats {
+		for _, ack := range acks {
+			body, err := f.EncodeSyncAck(ack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeSyncAck(body)
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if got != ack {
+				t.Fatalf("%v: got %+v want %+v", f, got, ack)
+			}
+		}
+	}
+}
+
+func TestTaskResultsRoundTrip(t *testing.T) {
+	now := time.Unix(0, time.Now().UnixNano())
+	batches := [][]TaskResult{
+		nil,
+		{{UID: "t.1", ExitCode: 0, Started: now, Finished: now.Add(time.Second), StagingTime: 3 * time.Millisecond}},
+		{
+			{UID: "t.2", ExitCode: 137, Error: "oom"},
+			{UID: "t.3", Canceled: true},
+		},
+	}
+	for _, f := range formats {
+		for _, rs := range batches {
+			body, err := f.EncodeTaskResults(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeTaskResults(body)
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if len(got) != len(rs) {
+				t.Fatalf("%v: got %d results want %d", f, len(got), len(rs))
+			}
+			for i := range rs {
+				g, w := got[i], rs[i]
+				if g.UID != w.UID || g.ExitCode != w.ExitCode || g.Error != w.Error ||
+					g.Canceled != w.Canceled || !g.Started.Equal(w.Started) ||
+					!g.Finished.Equal(w.Finished) || g.StagingTime != w.StagingTime {
+					t.Fatalf("%v: result %d: got %+v want %+v", f, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTaskResultsJSONCompat pins the JSON wire shape to the original
+// encoding (plain json.Marshal of the result slice), so mixed-version
+// durable done-queues replay.
+func TestTaskResultsJSONCompat(t *testing.T) {
+	rs := []TaskResult{{UID: "t.1", ExitCode: 2, Error: "boom"}}
+	want, _ := json.Marshal(rs)
+	got, err := FormatJSON.EncodeTaskResults(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("JSON result shape drifted: got %s want %s", got, want)
+	}
+}
+
+func TestFig6TaskRoundTrip(t *testing.T) {
+	tasks := []Fig6Task{
+		{UID: "task.000001.000002", Executable: "sleep", Arguments: []string{"0"}, Cores: 1},
+		{UID: "t", Executable: "md run", Arguments: nil, Cores: 128},
+		{UID: `q"uote`, Executable: "x", Arguments: []string{"a", "日本"}, Cores: 0},
+	}
+	for _, f := range formats {
+		for _, task := range tasks {
+			var got Fig6Task
+			if err := DecodeFig6Task(f.EncodeFig6Task(&task), &got); err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if !reflect.DeepEqual(got, task) {
+				t.Fatalf("%v: got %+v want %+v", f, got, task)
+			}
+		}
+	}
+}
+
+// TestFig6TaskJSONShape pins the hand-rolled JSON encoder to encoding/json
+// byte for byte (it replaced a json.Marshal whose error was swallowed).
+func TestFig6TaskJSONShape(t *testing.T) {
+	for _, task := range []Fig6Task{
+		{UID: "task.1", Executable: "sleep", Arguments: []string{"0", "x"}, Cores: 4},
+		{UID: "", Executable: "", Arguments: nil, Cores: 0},
+		{UID: `need "escaping"`, Executable: "a\\b", Arguments: []string{}, Cores: -1},
+	} {
+		want, err := json.Marshal(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FormatJSON.EncodeFig6Task(&task)
+		if string(got) != string(want) {
+			t.Fatalf("JSON fig6 shape drifted: got %s want %s", got, want)
+		}
+	}
+}
+
+func TestStateRecRoundTrip(t *testing.T) {
+	for _, f := range formats {
+		body := f.EncodeStateRec("task", "task.0042", "DONE")
+		got, err := DecodeStateRec(body)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		want := StateRec{Entity: "task", UID: "task.0042", State: "DONE"}
+		if got != want {
+			t.Fatalf("%v: got %+v want %+v", f, got, want)
+		}
+	}
+	// JSON shape pinned to the original core stateRec encoding.
+	want, _ := json.Marshal(StateRec{Entity: "stage", UID: "s.1", State: "FAILED"})
+	if got := FormatJSON.EncodeStateRec("stage", "s.1", "FAILED"); string(got) != string(want) {
+		t.Fatalf("JSON state record drifted: got %s want %s", got, want)
+	}
+}
+
+func TestJournalRecRoundTrip(t *testing.T) {
+	data := FormatBinary.EncodeStateRec("task", "t.1", "DONE")
+	payload := AppendJournalRec(nil, 99, "state", data)
+	seq, typ, got, err := DecodeJournalRec(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 99 || typ != "state" || !reflect.DeepEqual(got, data) {
+		t.Fatalf("journal record round trip: seq=%d typ=%q", seq, typ)
+	}
+}
+
+func TestBrokerRecsRoundTrip(t *testing.T) {
+	for _, f := range formats {
+		pub, err := f.EncodeBrokerPublish("pending", 7, []byte("body"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := DecodeBrokerPublish(pub)
+		if err != nil || p.Queue != "pending" || p.ID != 7 || string(p.Body) != "body" {
+			t.Fatalf("%v: publish round trip: %+v, %v", f, p, err)
+		}
+
+		ackB, err := f.EncodeBrokerAck("pending", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := DecodeBrokerAck(ackB)
+		if err != nil || a.Queue != "pending" || a.ID != 7 {
+			t.Fatalf("%v: ack round trip: %+v, %v", f, a, err)
+		}
+
+		msgs := []BrokerMsg{{ID: 1, Body: []byte("a")}, {ID: 2, Body: []byte("bb")}}
+		pbB, err := f.EncodeBrokerPublishBatch("done", msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := DecodeBrokerPublishBatch(pbB)
+		if err != nil || pb.Queue != "done" || !reflect.DeepEqual(pb.Msgs, msgs) {
+			t.Fatalf("%v: publish batch round trip: %+v, %v", f, pb, err)
+		}
+
+		abB, err := f.EncodeBrokerAckBatch("done", []uint64{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := DecodeBrokerAckBatch(abB)
+		if err != nil || ab.Queue != "done" || !reflect.DeepEqual(ab.IDs, []uint64{1, 2, 3}) {
+			t.Fatalf("%v: ack batch round trip: %+v, %v", f, ab, err)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{"": FormatBinary, "binary": FormatBinary, "json": FormatJSON} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("protobuf"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at every decoder: malformed,
+// truncated or type-confused frames must error cleanly — never panic,
+// never over-allocate from a hostile length prefix.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(FormatBinary.EncodeTaskUIDs([]string{"task.1", "task.2"}))
+	f.Add(FormatJSON.EncodeTaskUIDs([]string{"task.1"}))
+	if b, err := FormatBinary.EncodeSyncFrame(SyncFrame{Reply: "q", Seq: 3, Reqs: []SyncRequest{
+		{Entity: "task", UIDs: []string{"a", "b"}, Target: "DONE"}}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := FormatBinary.EncodeSyncAck(SyncAck{Seq: 9, OK: true}); err == nil {
+		f.Add(b)
+	}
+	if b, err := FormatBinary.EncodeTaskResults([]TaskResult{{UID: "t", ExitCode: 1, Started: time.Unix(3, 4)}}); err == nil {
+		f.Add(b)
+	}
+	f.Add(FormatBinary.EncodeFig6Task(&Fig6Task{UID: "t", Executable: "sleep", Arguments: []string{"0"}, Cores: 1}))
+	f.Add(FormatBinary.EncodeStateRec("task", "t.1", "DONE"))
+	f.Add(AppendJournalRec(nil, 1, "state", []byte("x")))
+	if b, err := FormatBinary.EncodeBrokerPublishBatch("q", []BrokerMsg{{ID: 1, Body: []byte("b")}}); err == nil {
+		f.Add(b)
+	}
+	// Truncations and corruptions of a valid frame.
+	valid := FormatBinary.EncodeTaskUIDs([]string{"task.000001", "task.000002"})
+	for i := 0; i < len(valid); i += 3 {
+		f.Add(valid[:i])
+	}
+	f.Add([]byte{Magic, Version, FrameTaskUIDs, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		DecodeTaskUIDs(body)              //nolint:errcheck
+		DecodeSyncFrame(body)             //nolint:errcheck
+		DecodeSyncAck(body)               //nolint:errcheck
+		DecodeTaskResults(body)           //nolint:errcheck
+		DecodeFig6Task(body, &Fig6Task{}) //nolint:errcheck
+		DecodeStateRec(body)              //nolint:errcheck
+		DecodeJournalRec(body)            //nolint:errcheck
+		DecodeBrokerPublish(body)         //nolint:errcheck
+		DecodeBrokerAck(body)             //nolint:errcheck
+		DecodeBrokerPublishBatch(body)    //nolint:errcheck
+		DecodeBrokerAckBatch(body)        //nolint:errcheck
+	})
 }

@@ -1,0 +1,769 @@
+package msgcodec
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ---- binary primitives ---------------------------------------------------
+//
+// Fields are varints (unsigned for counts/sequence numbers, zigzag for
+// signed values), length-prefixed byte strings, single-byte booleans and a
+// flagged varint for timestamps (so the zero time round-trips exactly).
+
+var errTruncated = errors.New("msgcodec: truncated frame")
+
+func appendHeader(buf []byte, typ byte) []byte {
+	return append(buf, Magic, Version, typ)
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// appendTime encodes a timestamp as a zero flag plus Unix nanoseconds. The
+// zero time gets its own flag because time.Time{}.UnixNano() does not
+// round-trip.
+func appendTime(buf []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return appendVarint(buf, t.UnixNano())
+}
+
+// reader walks a binary frame payload with exhaustive bounds checking: a
+// malformed or truncated frame yields an error from every method, never a
+// panic (FuzzDecodeFrame pins this).
+type reader struct{ b []byte }
+
+// frameReader validates the three-byte header and positions a reader at the
+// payload.
+func frameReader(body []byte, want byte) (reader, error) {
+	if len(body) < 3 {
+		return reader{}, errTruncated
+	}
+	if body[0] != Magic {
+		return reader{}, fmt.Errorf("msgcodec: bad magic byte 0x%02x", body[0])
+	}
+	if body[1] == 0 || body[1] > Version {
+		return reader{}, fmt.Errorf("msgcodec: unsupported wire version %d (this build speaks <= %d)", body[1], Version)
+	}
+	if body[2] != want {
+		return reader{}, fmt.Errorf("msgcodec: frame type 0x%02x, want 0x%02x", body[2], want)
+	}
+	return reader{b: body[3:]}, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// count reads an element count, bounding it by the bytes remaining so a
+// hostile length prefix cannot drive an over-allocation.
+func (r *reader) count() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)) {
+		return 0, fmt.Errorf("msgcodec: element count %d exceeds remaining frame (%d bytes)", v, len(r.b))
+	}
+	return int(v), nil
+}
+
+// bytes returns the next length-prefixed field, aliasing the frame.
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, errTruncated
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) bool() (bool, error) {
+	if len(r.b) < 1 {
+		return false, errTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v != 0, nil
+}
+
+func (r *reader) time() (time.Time, error) {
+	set, err := r.bool()
+	if err != nil || !set {
+		return time.Time{}, err
+	}
+	ns, err := r.varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, ns), nil
+}
+
+// ---- synchronizer transition frames -------------------------------------
+
+// SyncRequest asks the Synchronizer for one state transition — of a single
+// entity, or (UIDs) the same transition applied to a batch of entities in
+// one request, EnTK's bulk state updates.
+type SyncRequest struct {
+	Entity string   `json:"entity"` // "task" | "stage" | "pipeline"
+	UID    string   `json:"uid,omitempty"`
+	UIDs   []string `json:"uids,omitempty"`
+	Target string   `json:"target"`
+	// Result metadata piggybacked on task transitions.
+	ExitCode int    `json:"exit_code,omitempty"`
+	ExecErr  string `json:"exec_err,omitempty"`
+}
+
+// SyncFrame carries one component's transition requests to the Synchronizer
+// in a single message with a single acknowledgement. Batching requests into
+// one frame is what turns a stage's synchronization traffic from O(tasks)
+// round-trips into O(1): a 64-task stage schedules with one frame holding
+// its stage and bulk-task transitions.
+type SyncFrame struct {
+	Reply string        `json:"reply"` // ack queue
+	Seq   uint64        `json:"seq"`
+	Reqs  []SyncRequest `json:"reqs"`
+}
+
+// SyncAck is the Synchronizer's acknowledgement of one frame: OK when every
+// request committed (or was absorbed as a documented no-op), otherwise the
+// first failure.
+type SyncAck struct {
+	Seq uint64 `json:"seq"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// EncodeSyncFrame encodes a transition frame in format f.
+func (f Format) EncodeSyncFrame(fr SyncFrame) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(fr)
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameSyncFrame)
+	buf = appendString(buf, fr.Reply)
+	buf = appendUvarint(buf, fr.Seq)
+	buf = appendUvarint(buf, uint64(len(fr.Reqs)))
+	for i := range fr.Reqs {
+		req := &fr.Reqs[i]
+		buf = appendString(buf, req.Entity)
+		buf = appendString(buf, req.Target)
+		buf = appendString(buf, req.UID)
+		buf = appendUvarint(buf, uint64(len(req.UIDs)))
+		for _, uid := range req.UIDs {
+			buf = appendString(buf, uid)
+		}
+		buf = appendVarint(buf, int64(req.ExitCode))
+		buf = appendString(buf, req.ExecErr)
+	}
+	return putBuf(bp, buf), nil
+}
+
+// DecodeSyncFrame decodes a transition frame of either format.
+func DecodeSyncFrame(body []byte) (SyncFrame, error) {
+	var fr SyncFrame
+	if !IsBinary(body) {
+		if err := json.Unmarshal(body, &fr); err != nil {
+			return SyncFrame{}, fmt.Errorf("msgcodec: sync frame: %w", err)
+		}
+		return fr, nil
+	}
+	r, err := frameReader(body, FrameSyncFrame)
+	if err != nil {
+		return SyncFrame{}, err
+	}
+	if fr.Reply, err = r.str(); err != nil {
+		return SyncFrame{}, err
+	}
+	if fr.Seq, err = r.uvarint(); err != nil {
+		return SyncFrame{}, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return SyncFrame{}, err
+	}
+	fr.Reqs = make([]SyncRequest, n)
+	for i := range fr.Reqs {
+		req := &fr.Reqs[i]
+		if req.Entity, err = r.str(); err != nil {
+			return SyncFrame{}, err
+		}
+		if req.Target, err = r.str(); err != nil {
+			return SyncFrame{}, err
+		}
+		if req.UID, err = r.str(); err != nil {
+			return SyncFrame{}, err
+		}
+		m, err := r.count()
+		if err != nil {
+			return SyncFrame{}, err
+		}
+		if m > 0 {
+			req.UIDs = make([]string, m)
+			for k := range req.UIDs {
+				if req.UIDs[k], err = r.str(); err != nil {
+					return SyncFrame{}, err
+				}
+			}
+		}
+		ec, err := r.varint()
+		if err != nil {
+			return SyncFrame{}, err
+		}
+		req.ExitCode = int(ec)
+		if req.ExecErr, err = r.str(); err != nil {
+			return SyncFrame{}, err
+		}
+	}
+	return fr, nil
+}
+
+// EncodeSyncAck encodes an acknowledgement in format f.
+func (f Format) EncodeSyncAck(ack SyncAck) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(ack)
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameSyncAck)
+	buf = appendUvarint(buf, ack.Seq)
+	buf = appendBool(buf, ack.OK)
+	buf = appendString(buf, ack.Err)
+	return putBuf(bp, buf), nil
+}
+
+// DecodeSyncAck decodes an acknowledgement of either format.
+func DecodeSyncAck(body []byte) (SyncAck, error) {
+	var ack SyncAck
+	if !IsBinary(body) {
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return SyncAck{}, fmt.Errorf("msgcodec: sync ack: %w", err)
+		}
+		return ack, nil
+	}
+	r, err := frameReader(body, FrameSyncAck)
+	if err != nil {
+		return SyncAck{}, err
+	}
+	if ack.Seq, err = r.uvarint(); err != nil {
+		return SyncAck{}, err
+	}
+	if ack.OK, err = r.bool(); err != nil {
+		return SyncAck{}, err
+	}
+	if ack.Err, err = r.str(); err != nil {
+		return SyncAck{}, err
+	}
+	return ack, nil
+}
+
+// ---- done-queue task-result batches -------------------------------------
+
+// TaskResult is the RTS's report of one finished task attempt, as carried
+// on the done queue. Field names are part of the JSON wire format (the
+// original encoding used encoding/json defaults), so they carry no tags.
+type TaskResult struct {
+	UID      string
+	ExitCode int
+	Error    string
+	Canceled bool
+	// Started and Finished bound the executable's run (virtual time).
+	Started  time.Time
+	Finished time.Time
+	// StagingTime is the virtual time spent staging this task's data.
+	StagingTime time.Duration
+}
+
+// EncodeTaskResults encodes a done-queue result batch in format f.
+func (f Format) EncodeTaskResults(rs []TaskResult) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(rs)
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameTaskResults)
+	buf = appendUvarint(buf, uint64(len(rs)))
+	for i := range rs {
+		res := &rs[i]
+		buf = appendString(buf, res.UID)
+		buf = appendVarint(buf, int64(res.ExitCode))
+		buf = appendString(buf, res.Error)
+		buf = appendBool(buf, res.Canceled)
+		buf = appendTime(buf, res.Started)
+		buf = appendTime(buf, res.Finished)
+		buf = appendVarint(buf, int64(res.StagingTime))
+	}
+	return putBuf(bp, buf), nil
+}
+
+// DecodeTaskResults decodes a done-queue result batch of either format.
+func DecodeTaskResults(body []byte) ([]TaskResult, error) {
+	if !IsBinary(body) {
+		var rs []TaskResult
+		if err := json.Unmarshal(body, &rs); err != nil {
+			return nil, fmt.Errorf("msgcodec: task results: %w", err)
+		}
+		return rs, nil
+	}
+	r, err := frameReader(body, FrameTaskResults)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]TaskResult, n)
+	for i := range rs {
+		res := &rs[i]
+		if res.UID, err = r.str(); err != nil {
+			return nil, err
+		}
+		ec, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		res.ExitCode = int(ec)
+		if res.Error, err = r.str(); err != nil {
+			return nil, err
+		}
+		if res.Canceled, err = r.bool(); err != nil {
+			return nil, err
+		}
+		if res.Started, err = r.time(); err != nil {
+			return nil, err
+		}
+		if res.Finished, err = r.time(); err != nil {
+			return nil, err
+		}
+		st, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		res.StagingTime = time.Duration(st)
+	}
+	return rs, nil
+}
+
+// ---- Fig 6 prototype task bodies ----------------------------------------
+
+// Fig6Task is the task object the Fig 6 prototype benchmark pushes through
+// the queues, shaped like an EnTK task description.
+type Fig6Task struct {
+	UID        string   `json:"uid"`
+	Executable string   `json:"executable"`
+	Arguments  []string `json:"arguments"`
+	Cores      int      `json:"cores"`
+}
+
+// EncodeFig6Task encodes one prototype task body in format f. Infallible:
+// the JSON path is hand-rolled (byte-identical to encoding/json for this
+// shape), which is also what removes the swallowed-marshal-error site the
+// original benchmark had.
+func (f Format) EncodeFig6Task(t *Fig6Task) []byte {
+	bp, buf := getBuf()
+	if f == FormatJSON {
+		buf = append(buf, `{"uid":`...)
+		buf = appendJSONString(buf, t.UID)
+		buf = append(buf, `,"executable":`...)
+		buf = appendJSONString(buf, t.Executable)
+		buf = append(buf, `,"arguments":`...)
+		if t.Arguments == nil {
+			buf = append(buf, `null`...)
+		} else {
+			buf = append(buf, '[')
+			for i, a := range t.Arguments {
+				if i > 0 {
+					buf = append(buf, ',')
+				}
+				buf = appendJSONString(buf, a)
+			}
+			buf = append(buf, ']')
+		}
+		buf = append(buf, `,"cores":`...)
+		buf = strconv.AppendInt(buf, int64(t.Cores), 10)
+		buf = append(buf, '}')
+		return putBuf(bp, buf)
+	}
+	buf = appendHeader(buf, FrameFig6Task)
+	buf = appendString(buf, t.UID)
+	buf = appendString(buf, t.Executable)
+	buf = appendUvarint(buf, uint64(len(t.Arguments)))
+	for _, a := range t.Arguments {
+		buf = appendString(buf, a)
+	}
+	buf = appendVarint(buf, int64(t.Cores))
+	return putBuf(bp, buf)
+}
+
+// DecodeFig6Task decodes one prototype task body of either format into t.
+func DecodeFig6Task(body []byte, t *Fig6Task) error {
+	if !IsBinary(body) {
+		if err := json.Unmarshal(body, t); err != nil {
+			return fmt.Errorf("msgcodec: fig6 task: %w", err)
+		}
+		return nil
+	}
+	r, err := frameReader(body, FrameFig6Task)
+	if err != nil {
+		return err
+	}
+	if t.UID, err = r.str(); err != nil {
+		return err
+	}
+	if t.Executable, err = r.str(); err != nil {
+		return err
+	}
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	t.Arguments = nil
+	if n > 0 {
+		t.Arguments = make([]string, n)
+		for i := range t.Arguments {
+			if t.Arguments[i], err = r.str(); err != nil {
+				return err
+			}
+		}
+	}
+	c, err := r.varint()
+	if err != nil {
+		return err
+	}
+	t.Cores = int(c)
+	return nil
+}
+
+// ---- journaled state-transition records ---------------------------------
+
+// StateRec is the journal payload of one committed state transition.
+type StateRec struct {
+	Entity string `json:"entity"`
+	UID    string `json:"uid"`
+	State  string `json:"state"`
+}
+
+// EncodeStateRec encodes one state record in format f. Infallible: both
+// paths are hand-rolled appends.
+func (f Format) EncodeStateRec(entity, uid, state string) []byte {
+	bp, buf := getBuf()
+	if f == FormatJSON {
+		buf = append(buf, `{"entity":`...)
+		buf = appendJSONString(buf, entity)
+		buf = append(buf, `,"uid":`...)
+		buf = appendJSONString(buf, uid)
+		buf = append(buf, `,"state":`...)
+		buf = appendJSONString(buf, state)
+		buf = append(buf, '}')
+		return putBuf(bp, buf)
+	}
+	buf = appendHeader(buf, FrameStateRec)
+	buf = appendString(buf, entity)
+	buf = appendString(buf, uid)
+	buf = appendString(buf, state)
+	return putBuf(bp, buf)
+}
+
+// DecodeStateRec decodes a state record of either format.
+func DecodeStateRec(body []byte) (StateRec, error) {
+	var sr StateRec
+	if !IsBinary(body) {
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return StateRec{}, fmt.Errorf("msgcodec: state record: %w", err)
+		}
+		return sr, nil
+	}
+	r, err := frameReader(body, FrameStateRec)
+	if err != nil {
+		return StateRec{}, err
+	}
+	if sr.Entity, err = r.str(); err != nil {
+		return StateRec{}, err
+	}
+	if sr.UID, err = r.str(); err != nil {
+		return StateRec{}, err
+	}
+	if sr.State, err = r.str(); err != nil {
+		return StateRec{}, err
+	}
+	return sr, nil
+}
+
+// ---- journal record framing ---------------------------------------------
+
+// AppendJournalRec appends the binary framing of one journal record
+// (sequence number, type, opaque payload) to dst and returns the extended
+// slice. The journal owns the destination buffer, so the append itself
+// allocates nothing in steady state.
+func AppendJournalRec(dst []byte, seq uint64, recType string, data []byte) []byte {
+	dst = appendHeader(dst, FrameJournalRec)
+	dst = appendUvarint(dst, seq)
+	dst = appendString(dst, recType)
+	return appendBytes(dst, data)
+}
+
+// DecodeJournalRec decodes a binary journal record. data aliases payload.
+func DecodeJournalRec(payload []byte) (seq uint64, recType string, data []byte, err error) {
+	r, err := frameReader(payload, FrameJournalRec)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, "", nil, err
+	}
+	if recType, err = r.str(); err != nil {
+		return 0, "", nil, err
+	}
+	if data, err = r.bytes(); err != nil {
+		return 0, "", nil, err
+	}
+	return seq, recType, data, nil
+}
+
+// ---- broker durability records ------------------------------------------
+
+// BrokerMsg is one message of a batched durable publish record.
+type BrokerMsg struct {
+	ID   uint64 `json:"id"`
+	Body []byte `json:"body"`
+}
+
+// BrokerPublish is the durable-queue record of one published message.
+type BrokerPublish struct {
+	Queue string `json:"q"`
+	ID    uint64 `json:"id"`
+	Body  []byte `json:"body"`
+}
+
+// BrokerAck is the durable-queue record of one settled message.
+type BrokerAck struct {
+	Queue string `json:"q"`
+	ID    uint64 `json:"id"`
+}
+
+// BrokerPublishBatch is the durable-queue record of one publish batch.
+type BrokerPublishBatch struct {
+	Queue string      `json:"q"`
+	Msgs  []BrokerMsg `json:"msgs"`
+}
+
+// BrokerAckBatch is the durable-queue record of one ack batch.
+type BrokerAckBatch struct {
+	Queue string   `json:"q"`
+	IDs   []uint64 `json:"ids"`
+}
+
+// EncodeBrokerPublish encodes a publish record in format f.
+func (f Format) EncodeBrokerPublish(queue string, id uint64, body []byte) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(BrokerPublish{Queue: queue, ID: id, Body: body})
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameBrokerPublish)
+	buf = appendString(buf, queue)
+	buf = appendUvarint(buf, id)
+	buf = appendBytes(buf, body)
+	return putBuf(bp, buf), nil
+}
+
+// DecodeBrokerPublish decodes a publish record of either format.
+func DecodeBrokerPublish(payload []byte) (BrokerPublish, error) {
+	var p BrokerPublish
+	if !IsBinary(payload) {
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return BrokerPublish{}, fmt.Errorf("msgcodec: broker publish record: %w", err)
+		}
+		return p, nil
+	}
+	r, err := frameReader(payload, FrameBrokerPublish)
+	if err != nil {
+		return BrokerPublish{}, err
+	}
+	if p.Queue, err = r.str(); err != nil {
+		return BrokerPublish{}, err
+	}
+	if p.ID, err = r.uvarint(); err != nil {
+		return BrokerPublish{}, err
+	}
+	if p.Body, err = r.bytes(); err != nil {
+		return BrokerPublish{}, err
+	}
+	return p, nil
+}
+
+// EncodeBrokerAck encodes an ack record in format f.
+func (f Format) EncodeBrokerAck(queue string, id uint64) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(BrokerAck{Queue: queue, ID: id})
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameBrokerAck)
+	buf = appendString(buf, queue)
+	buf = appendUvarint(buf, id)
+	return putBuf(bp, buf), nil
+}
+
+// DecodeBrokerAck decodes an ack record of either format.
+func DecodeBrokerAck(payload []byte) (BrokerAck, error) {
+	var a BrokerAck
+	if !IsBinary(payload) {
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return BrokerAck{}, fmt.Errorf("msgcodec: broker ack record: %w", err)
+		}
+		return a, nil
+	}
+	r, err := frameReader(payload, FrameBrokerAck)
+	if err != nil {
+		return BrokerAck{}, err
+	}
+	if a.Queue, err = r.str(); err != nil {
+		return BrokerAck{}, err
+	}
+	if a.ID, err = r.uvarint(); err != nil {
+		return BrokerAck{}, err
+	}
+	return a, nil
+}
+
+// EncodeBrokerPublishBatch encodes a batched publish record in format f.
+func (f Format) EncodeBrokerPublishBatch(queue string, msgs []BrokerMsg) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(BrokerPublishBatch{Queue: queue, Msgs: msgs})
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameBrokerPublishBatch)
+	buf = appendString(buf, queue)
+	buf = appendUvarint(buf, uint64(len(msgs)))
+	for i := range msgs {
+		buf = appendUvarint(buf, msgs[i].ID)
+		buf = appendBytes(buf, msgs[i].Body)
+	}
+	return putBuf(bp, buf), nil
+}
+
+// DecodeBrokerPublishBatch decodes a batched publish record of either format.
+func DecodeBrokerPublishBatch(payload []byte) (BrokerPublishBatch, error) {
+	var p BrokerPublishBatch
+	if !IsBinary(payload) {
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return BrokerPublishBatch{}, fmt.Errorf("msgcodec: broker publish batch record: %w", err)
+		}
+		return p, nil
+	}
+	r, err := frameReader(payload, FrameBrokerPublishBatch)
+	if err != nil {
+		return BrokerPublishBatch{}, err
+	}
+	if p.Queue, err = r.str(); err != nil {
+		return BrokerPublishBatch{}, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return BrokerPublishBatch{}, err
+	}
+	p.Msgs = make([]BrokerMsg, n)
+	for i := range p.Msgs {
+		if p.Msgs[i].ID, err = r.uvarint(); err != nil {
+			return BrokerPublishBatch{}, err
+		}
+		if p.Msgs[i].Body, err = r.bytes(); err != nil {
+			return BrokerPublishBatch{}, err
+		}
+	}
+	return p, nil
+}
+
+// EncodeBrokerAckBatch encodes a batched ack record in format f.
+func (f Format) EncodeBrokerAckBatch(queue string, ids []uint64) ([]byte, error) {
+	if f == FormatJSON {
+		return json.Marshal(BrokerAckBatch{Queue: queue, IDs: ids})
+	}
+	bp, buf := getBuf()
+	buf = appendHeader(buf, FrameBrokerAckBatch)
+	buf = appendString(buf, queue)
+	buf = appendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = appendUvarint(buf, id)
+	}
+	return putBuf(bp, buf), nil
+}
+
+// DecodeBrokerAckBatch decodes a batched ack record of either format.
+func DecodeBrokerAckBatch(payload []byte) (BrokerAckBatch, error) {
+	var a BrokerAckBatch
+	if !IsBinary(payload) {
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return BrokerAckBatch{}, fmt.Errorf("msgcodec: broker ack batch record: %w", err)
+		}
+		return a, nil
+	}
+	r, err := frameReader(payload, FrameBrokerAckBatch)
+	if err != nil {
+		return BrokerAckBatch{}, err
+	}
+	if a.Queue, err = r.str(); err != nil {
+		return BrokerAckBatch{}, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return BrokerAckBatch{}, err
+	}
+	a.IDs = make([]uint64, n)
+	for i := range a.IDs {
+		if a.IDs[i], err = r.uvarint(); err != nil {
+			return BrokerAckBatch{}, err
+		}
+	}
+	return a, nil
+}
