@@ -21,8 +21,10 @@ import (
 	"repro/internal/hostmodel"
 	"repro/internal/hpc"
 	"repro/internal/journal"
+	"repro/internal/rts"
 	"repro/internal/saga"
 	"repro/internal/vclock"
+	"repro/internal/workload"
 )
 
 // BenchmarkAblationBrokerPrefetch measures delivery throughput as a
@@ -127,6 +129,80 @@ func BenchmarkAblationBrokerConsumers(b *testing.B) {
 				b.ReportMetric(float64(ablationPipelineMsgs*b.N)/b.Elapsed().Seconds(), "msgs/s")
 			})
 		}
+	}
+}
+
+// ablationSchedulerTasks is how many tasks each iteration of the
+// multi-scheduler ablation pushes through the agent end to end.
+const ablationSchedulerTasks = 8192
+
+// BenchmarkAblationSchedulers measures the pilot agent's dispatch
+// throughput on a contention-bound pipeline — zero-duration 1-core tasks on
+// a wide pilot, so the store drain + placement path is the bottleneck, not
+// task execution — with 1, 2 and 8 scheduler loops over an 8-shard task
+// store. schedulers-1 is the strict-FIFO serial agent (the paper's Fig 8
+// dispatch bottleneck); schedulers-N is the work-stealing pool. On a
+// single-core runner the spread is algorithmic only; the contention relief
+// is architectural and shows at GOMAXPROCS > 1 (see ROADMAP.md).
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for _, scheds := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("schedulers-%d", scheds), func(b *testing.B) {
+			const submitBatch = 256
+			clock := vclock.NewScaled(time.Nanosecond)
+			session := saga.NewSession()
+			defer session.Close()
+			cluster, err := hpc.NewCluster(hpc.Spec{
+				Name: "bench", Nodes: 64, CoresPerNode: 8,
+				MaxWalltime: 1000000 * time.Hour,
+			}, clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			session.Register(saga.NewClusterAdapter(cluster)) //nolint:errcheck
+			r, err := rts.New(rts.Config{
+				Resource: core.ResourceDesc{
+					Resource: "bench", Cores: 512, Walltime: 999999 * time.Hour,
+				},
+				Clock:       clock,
+				Session:     session,
+				Registry:    workload.NewRegistry(),
+				Model:       rts.FastModel(),
+				QueueShards: 8,
+				Schedulers:  scheds,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Start(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			defer r.Stop() //nolint:errcheck
+			descs := make([]core.TaskDescription, submitBatch)
+			for i := range descs {
+				descs[i] = core.TaskDescription{
+					UID: fmt.Sprintf("t%04d", i), Executable: "sleep", Cores: 1,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One iteration = one fixed task volume submitted in batches
+				// and drained to completion, so the number is agent-side
+				// dispatch cost under a persistently non-empty store.
+				for k := 0; k < ablationSchedulerTasks/submitBatch; k++ {
+					if err := r.Submit(descs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for got := 0; got < ablationSchedulerTasks; got++ {
+					if _, ok := <-r.Completions(); !ok {
+						b.Fatal("completions closed mid-benchmark")
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ablationSchedulerTasks*b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
 	}
 }
 

@@ -12,6 +12,7 @@
 //
 //	benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR2.json
 //	benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR2.json -warn
+//	benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR2.json -warn-ns
 //
 // Compare exits nonzero when any benchmark present in both files regressed
 // by more than -threshold percent in ns/op (default 25), or by more than
@@ -20,11 +21,14 @@
 // alloc gate is tighter — it is what holds the codec hot paths to their
 // pooled-encoder contracts (see docs/ci.md). A benchmark whose baseline is
 // zero allocs/op regresses by allocating at all. -warn reports the same
-// findings but always exits zero — the mode CI uses on shared runners,
-// whose noise makes a hard gate flaky; the hard gate is for like-for-like
-// hardware. Benchmarks present only in the baseline are reported as
-// missing (a rename silently dropping coverage should be visible);
-// benchmarks present only in the current file are listed as new.
+// findings but always exits zero. -warn-ns is the CI mode: ns/op
+// regressions warn only (shared-runner wall time is too noisy for a hard
+// gate), while allocs/op regressions and missing benchmarks still fail —
+// allocation counts are deterministic even on shared hardware. The full
+// hard gate (no flag) is for like-for-like hardware. Benchmarks present
+// only in the baseline are reported as missing (a rename silently dropping
+// coverage should be visible); benchmarks present only in the current file
+// are listed as new.
 //
 // Names are normalized by stripping the trailing -<GOMAXPROCS> suffix so
 // baselines recorded on different machines stay comparable.
@@ -166,7 +170,7 @@ func sortedNames(f File) []string {
 	return names
 }
 
-func compare(baseline, current File, thresholdPct, allocThresholdPct float64) (regressions, missing, added []string) {
+func compare(baseline, current File, thresholdPct, allocThresholdPct float64) (nsRegressions, allocRegressions, missing, added []string) {
 	for _, name := range sortedNames(baseline) {
 		base := baseline[name]
 		cur, ok := current[name]
@@ -177,7 +181,7 @@ func compare(baseline, current File, thresholdPct, allocThresholdPct float64) (r
 		if base.NsPerOp > 0 {
 			deltaPct := 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
 			if deltaPct > thresholdPct {
-				regressions = append(regressions,
+				nsRegressions = append(nsRegressions,
 					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
 						name, base.NsPerOp, cur.NsPerOp, deltaPct, thresholdPct))
 			}
@@ -189,14 +193,14 @@ func compare(baseline, current File, thresholdPct, allocThresholdPct float64) (r
 		case base.AllocsPerOp > 0:
 			deltaPct := 100 * (cur.AllocsPerOp - base.AllocsPerOp) / base.AllocsPerOp
 			if deltaPct > allocThresholdPct {
-				regressions = append(regressions,
+				allocRegressions = append(allocRegressions,
 					fmt.Sprintf("%s: %.0f -> %.0f allocs/op (%+.1f%%, threshold %.0f%%)",
 						name, base.AllocsPerOp, cur.AllocsPerOp, deltaPct, allocThresholdPct))
 			}
 		case cur.AllocsPerOp > 0:
 			// A zero-alloc baseline is a contract, not a measurement: any
 			// allocation at all is a regression.
-			regressions = append(regressions,
+			allocRegressions = append(allocRegressions,
 				fmt.Sprintf("%s: 0 -> %.0f allocs/op (baseline was allocation-free)",
 					name, cur.AllocsPerOp))
 		}
@@ -206,7 +210,7 @@ func compare(baseline, current File, thresholdPct, allocThresholdPct float64) (r
 			added = append(added, name)
 		}
 	}
-	return regressions, missing, added
+	return nsRegressions, allocRegressions, missing, added
 }
 
 func main() {
@@ -218,6 +222,7 @@ func main() {
 		threshold = flag.Float64("threshold", 25, "regression threshold in percent of ns/op")
 		allocThr  = flag.Float64("alloc-threshold", 10, "regression threshold in percent of allocs/op (negative disables the alloc gate)")
 		warn      = flag.Bool("warn", false, "report regressions but exit zero (noisy shared runners)")
+		warnNs    = flag.Bool("warn-ns", false, "ns/op regressions warn only; allocs/op regressions and missing benchmarks still fail (the CI mode: wall time is noisy on shared runners, allocation counts are deterministic)")
 	)
 	flag.Parse()
 
@@ -252,23 +257,30 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		regressions, missing, added := compare(base, cur, *threshold, *allocThr)
+		nsRegs, allocRegs, missing, added := compare(base, cur, *threshold, *allocThr)
 		for _, name := range added {
 			fmt.Printf("benchdiff: new benchmark (not in baseline): %s\n", name)
 		}
 		for _, name := range missing {
 			fmt.Printf("benchdiff: MISSING from current run (renamed or dropped?): %s\n", name)
 		}
-		for _, r := range regressions {
+		for _, r := range nsRegs {
 			fmt.Printf("benchdiff: REGRESSION %s\n", r)
 		}
-		if len(regressions) == 0 && len(missing) == 0 {
+		for _, r := range allocRegs {
+			fmt.Printf("benchdiff: REGRESSION %s\n", r)
+		}
+		if len(nsRegs) == 0 && len(allocRegs) == 0 && len(missing) == 0 {
 			fmt.Printf("benchdiff: OK — %d benchmarks within %.0f%% of baseline\n",
 				len(base), *threshold)
 			return
 		}
-		if *warn {
+		switch {
+		case *warn:
 			fmt.Println("benchdiff: warn-only mode, not failing the build")
+			return
+		case *warnNs && len(allocRegs) == 0 && len(missing) == 0:
+			fmt.Println("benchdiff: ns/op regressions warn only (-warn-ns), not failing the build")
 			return
 		}
 		os.Exit(1)

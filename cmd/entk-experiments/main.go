@@ -16,7 +16,9 @@
 // (every ensemble size x concurrency); 10 = Fig 6 BatchSize x
 // consumer-count grid over the sharded broker; 11 = Fig 8-style
 // weak-scaling sweep across broker batch sizes; 12 = Fig 6 wire-codec
-// ablation (batched broker, JSON vs binary task bodies).
+// ablation (batched broker, JSON vs binary task bodies); 13 = Fig 8-style
+// weak-scaling sweep across agent scheduler counts (the multi-scheduler
+// agent over the sharded task store).
 package main
 
 import (
@@ -167,6 +169,13 @@ func main() {
 			rows = append(rows, r...)
 		}
 		experiments.RenderFig6(os.Stdout, rows)
+	}
+	if want["13"] {
+		rows, err := experiments.Fig8SchedulerSweep(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderSchedulerSweep(os.Stdout, rows)
 	}
 	if want["tune"] {
 		rec, err := experiments.AutotuneConcurrency(opts)

@@ -17,7 +17,7 @@
 //
 // Run with:
 //
-//	entk-run -app app.json [-scale 1ms] [-v] [-check] [-progress] [-cancel name]
+//	entk-run -app app.json [-scale 1ms] [-v] [-check] [-progress] [-cancel name] [-schedulers n]
 //
 // -progress streams the run's lifecycle transitions live (stage and
 // pipeline events, plus task events with -v) and periodic completion
@@ -48,6 +48,7 @@ func main() {
 		progress = flag.Bool("progress", false, "stream live lifecycle transitions and progress")
 		cancelP  = flag.String("cancel", "", "cancel the named pipeline shortly after start")
 		wire     = flag.String("wire", "binary", "control-plane wire format: binary (fast) or json (inspectable messages and journal)")
+		scheds   = flag.Int("schedulers", 0, "agent scheduler loops draining the task store (0 = min(GOMAXPROCS, shards), 1 = strict-FIFO single scheduler)")
 	)
 	flag.Parse()
 	if *appPath == "" {
@@ -80,10 +81,11 @@ func main() {
 			Queue:    desc.Resource.Queue,
 			Project:  desc.Resource.Project,
 		},
-		TimeScale:   *scale,
-		TaskRetries: desc.TaskRetries,
-		Seed:        desc.Seed,
-		WireFormat:  *wire,
+		TimeScale:        *scale,
+		TaskRetries:      desc.TaskRetries,
+		Seed:             desc.Seed,
+		WireFormat:       *wire,
+		SchedulerWorkers: *scheds,
 	})
 	if err != nil {
 		fatal(err)
@@ -127,6 +129,7 @@ func main() {
 			runErr = run.Wait()
 			<-streamDone
 			fmt.Printf("event stream: %d dropped (slow-subscriber policy)\n", sub.Dropped())
+			renderStoreStats(run.Snapshot().Store)
 		} else {
 			runErr = run.Wait()
 		}
@@ -174,6 +177,23 @@ func renderEvents(run *entk.Run, sub *entk.EventSub) {
 				snap.Utilization.CoresBusy, snap.Utilization.CoresTotal)
 		}
 	}
+}
+
+// renderStoreStats summarizes the agent's scheduler pool after a -progress
+// run: loop count, per-loop dispatch tallies and shard work-stealing.
+func renderStoreStats(st entk.StoreStats) {
+	if st.Schedulers == 0 {
+		return
+	}
+	var pulls, dispatched uint64
+	for _, n := range st.SchedulerPulls {
+		pulls += n
+	}
+	for _, n := range st.SchedulerDispatches {
+		dispatched += n
+	}
+	fmt.Printf("scheduler pool: %d loops over %d store shards — %d pulls (%d steals), %d tasks dispatched\n",
+		st.Schedulers, st.Shards, pulls, st.Steals, dispatched)
 }
 
 // cancelByName cancels the pipeline with the given name once it has tasks

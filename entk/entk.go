@@ -106,6 +106,9 @@ type (
 	PipelineProgress = core.PipelineProgress
 	// Utilization reports pilot occupancy inside a Progress snapshot.
 	Utilization = core.Utilization
+	// StoreStats reports the RTS task store's shard/scheduler counters
+	// inside a Progress snapshot.
+	StoreStats = core.StoreStats
 	// CancelError is the error a run finishes with after Run.Cancel.
 	CancelError = core.CancelError
 )
@@ -200,6 +203,13 @@ type AppConfig struct {
 	// multi-consumer scaling knob. 0 selects the broker default,
 	// min(GOMAXPROCS, 8); 1 restores the single-lock queues.
 	QueueShards int
+	// SchedulerWorkers is the RTS agent's scheduler concurrency: how many
+	// scheduler loops drain the sharded task store, each owning a preferred
+	// shard and work-stealing from the next non-empty one. 0 selects the
+	// RTS default, min(GOMAXPROCS, store shards); 1 restores the
+	// single-scheduler agent and with it strict push-order FIFO dispatch.
+	// See docs/api.md for the ordering contract at SchedulerWorkers > 1.
+	SchedulerWorkers int
 	// WireFormat selects the control-plane wire codec: "binary" (default)
 	// frames every steady-state control message — pending-queue task
 	// batches, synchronizer frames and acks, done-queue result batches,
@@ -362,15 +372,16 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 	}
 
 	am, err := core.NewAppManager(core.Config{
-		Clock:       clock,
-		Host:        host,
-		JournalPath: cfg.JournalPath,
-		StateStore:  cfg.StateStore,
-		TaskRetries: cfg.TaskRetries,
-		RTSRestarts: cfg.RTSRestarts,
-		EmgrBatch:   cfg.BatchSize,
-		QueueShards: cfg.QueueShards,
-		WireFormat:  cfg.WireFormat,
+		Clock:            clock,
+		Host:             host,
+		JournalPath:      cfg.JournalPath,
+		StateStore:       cfg.StateStore,
+		TaskRetries:      cfg.TaskRetries,
+		RTSRestarts:      cfg.RTSRestarts,
+		EmgrBatch:        cfg.BatchSize,
+		QueueShards:      cfg.QueueShards,
+		SchedulerWorkers: cfg.SchedulerWorkers,
+		WireFormat:       cfg.WireFormat,
 	})
 	if err != nil {
 		closeAll()
@@ -393,6 +404,7 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Compute:     cfg.Compute,
 		Seed:        cfg.Seed,
 		QueueShards: cfg.QueueShards,
+		Schedulers:  cfg.SchedulerWorkers,
 	}
 	if len(cfg.ExtraResources) == 0 {
 		am.SetRTSFactory(rts.Factory(baseRTS))

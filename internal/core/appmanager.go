@@ -61,6 +61,13 @@ type Config struct {
 	// arrival order across components, which only a single-shard queue
 	// guarantees.
 	QueueShards int
+	// SchedulerWorkers is the RTS agent's scheduler concurrency — how many
+	// scheduler loops drain the sharded task store. The engine records it
+	// for Progress snapshots taken before the RTS bootstraps; the embedding
+	// layer (entk) forwards the same knob into the RTS it builds. 0 selects
+	// the RTS default, min(GOMAXPROCS, store shards); 1 is the strict-FIFO
+	// single-scheduler agent.
+	SchedulerWorkers int
 	// WireFormat selects the control-plane wire codec: "binary" (the
 	// default, and the hot-path fast format) or "json" (human-readable
 	// messages and journal records, for debugging and inspection). Decoding

@@ -352,6 +352,11 @@ type Progress struct {
 	ActiveTasks int
 	// Utilization reports pilot occupancy when the RTS supports it.
 	Utilization Utilization
+	// Store reports the RTS task store's counters — shard depths, pull and
+	// steal tallies, per-scheduler dispatch counts — when the RTS supports
+	// it (core.StoreStatsReporter). Before the RTS starts, Schedulers falls
+	// back to the configured Config.SchedulerWorkers knob.
+	Store StoreStats
 	// PerPipeline details each registered pipeline.
 	PerPipeline []PipelineProgress
 }
@@ -401,8 +406,16 @@ func (am *AppManager) Snapshot() Progress {
 			if ur, ok := rts.(UtilizationReporter); ok {
 				p.Utilization = ur.Utilization()
 			}
+			if sr, ok := rts.(StoreStatsReporter); ok {
+				p.Store = sr.StoreStats()
+			}
 			p.Utilization.TasksInFlight = rts.Stats().TasksInFlight
 		}
+	}
+	if p.Store.Schedulers == 0 {
+		// Pre-start (or an RTS that cannot report): surface the configured
+		// knob so dashboards render a stable scheduler count.
+		p.Store.Schedulers = am.cfg.SchedulerWorkers
 	}
 	return p
 }

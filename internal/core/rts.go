@@ -53,6 +53,39 @@ type TaskDescription struct {
 // done-queue wire type, so it lives in internal/msgcodec next to its codec.
 type TaskResult = msgcodec.TaskResult
 
+// StoreStats is the QueueStats-style counter block of an RTS's task store —
+// the mailbox between the UnitManager and the Agent — including the
+// multi-scheduler agent's per-scheduler tallies. It is exported through
+// Progress.Store when the RTS implements StoreStatsReporter.
+type StoreStats struct {
+	// Shards and ShardDepths describe the store's sharded ready storage;
+	// Depth is the total number of queued tasks (the sum of ShardDepths).
+	Shards      int
+	ShardDepths []int
+	Depth       int
+	// Pushed and Pulled count tasks through the store. Steals counts pull
+	// batches a scheduler served off a non-preferred shard (work-stealing;
+	// always 0 for a single-scheduler agent, which pulls in strict
+	// push-sequence order instead).
+	Pushed uint64
+	Pulled uint64
+	Steals uint64
+	// Schedulers is the agent's scheduler-loop count; SchedulerPulls and
+	// SchedulerDispatches tally store pulls and task dispatches per loop
+	// (index = scheduler id). Composite RTSes concatenate their members'
+	// slices.
+	Schedulers          int
+	SchedulerPulls      []uint64
+	SchedulerDispatches []uint64
+}
+
+// StoreStatsReporter is the optional RTS extension behind Progress.Store.
+// An RTS that can see its task store and agent schedulers implements it;
+// Snapshot degrades to the configured scheduler count otherwise.
+type StoreStatsReporter interface {
+	StoreStats() StoreStats
+}
+
 // RTSStats exposes counters from the runtime system.
 type RTSStats struct {
 	PilotsSubmitted int

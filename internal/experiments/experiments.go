@@ -250,21 +250,23 @@ type ScalingRow struct {
 }
 
 func runScaling(tasks, cores int, scale time.Duration) (profiler.Report, error) {
-	return runScalingBatch(tasks, cores, 0, scale)
+	return runScalingBatch(tasks, cores, 0, 0, scale)
 }
 
 // runScalingBatch is runScaling with an explicit broker batch size (0 =
-// the stack default, 1 = the per-message path).
-func runScalingBatch(tasks, cores, batch int, scale time.Duration) (profiler.Report, error) {
+// the stack default, 1 = the per-message path) and agent scheduler count
+// (0 = the RTS default, 1 = the strict-FIFO single-scheduler agent).
+func runScalingBatch(tasks, cores, batch, schedulers int, scale time.Duration) (profiler.Report, error) {
 	am, err := entk.NewAppManager(entk.AppConfig{
 		Resource: entk.Resource{
 			Name:     "titan",
 			Cores:    cores,
 			Walltime: 2 * time.Hour, // Titan's queue policy cap, as in the paper
 		},
-		TimeScale:   scale,
-		TaskRetries: 2,
-		BatchSize:   batch,
+		TimeScale:        scale,
+		TaskRetries:      2,
+		BatchSize:        batch,
+		SchedulerWorkers: schedulers,
 	})
 	if err != nil {
 		return profiler.Report{}, err
@@ -346,11 +348,49 @@ func Fig8BatchSweep(opts *Options) ([]BatchScalingRow, error) {
 	for _, batch := range batches {
 		for _, n := range sizes {
 			opts.logf("batch sweep: batch=%d, %d tasks / %d cores", batch, n, n)
-			rep, err := runScalingBatch(n, n, batch, scale)
+			rep, err := runScalingBatch(n, n, batch, 0, scale)
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, BatchScalingRow{Batch: batch, Tasks: n, Cores: n, Report: rep})
+		}
+	}
+	return rows, nil
+}
+
+// SchedulerScalingRow is one point of the scheduler-concurrency sweep: a
+// weak-scaling run executed with a given agent scheduler count.
+type SchedulerScalingRow struct {
+	Schedulers int
+	Tasks      int
+	Cores      int
+	Report     profiler.Report
+}
+
+// Fig8SchedulerSweep re-measures the weak-scaling overhead curve across the
+// agent's scheduler-concurrency knob: schedulers=1 is the paper's serial
+// pilot agent (the Fig 8 dispatch bottleneck), larger counts drain the
+// sharded task store concurrently. Comparing rows of equal task count
+// isolates what the multi-scheduler agent does to RTS overhead — the
+// consumer-scaling curve the ROADMAP wants re-measured on real multi-core
+// hardware.
+func Fig8SchedulerSweep(opts *Options) ([]SchedulerScalingRow, error) {
+	scale := opts.scaleOr(time.Millisecond)
+	schedulers := []int{1, 2, 4}
+	sizes := []int{512, 1024}
+	if opts.quick() {
+		schedulers = []int{1, 2}
+		sizes = []int{64}
+	}
+	var rows []SchedulerScalingRow
+	for _, scheds := range schedulers {
+		for _, n := range sizes {
+			opts.logf("scheduler sweep: schedulers=%d, %d tasks / %d cores", scheds, n, n)
+			rep, err := runScalingBatch(n, n, 0, scheds, scale)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SchedulerScalingRow{Schedulers: scheds, Tasks: n, Cores: n, Report: rep})
 		}
 	}
 	return rows, nil

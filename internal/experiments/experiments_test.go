@@ -102,6 +102,24 @@ func TestFig8BatchSweepQuick(t *testing.T) {
 	}
 }
 
+func TestFig8SchedulerSweepQuick(t *testing.T) {
+	rows, err := Fig8SchedulerSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (2 scheduler counts x 1 size)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Report.TaskExecution <= 0 {
+			t.Fatalf("no task execution recorded: %+v", r)
+		}
+		if r.Schedulers != 1 && r.Schedulers != 2 {
+			t.Fatalf("unexpected scheduler count %d", r.Schedulers)
+		}
+	}
+}
+
 func TestFig6Uneven(t *testing.T) {
 	rows, err := Fig6Uneven(5000)
 	if err != nil {
@@ -323,13 +341,14 @@ func TestRenderers(t *testing.T) {
 	RenderScaling(&sb, "test", []ScalingRow{{Tasks: 1, Cores: 1}, {Tasks: 1, Cores: 2}})
 	RenderFig6(&sb, []Fig6Row{{Producers: 1, Consumers: 1, Queues: 1, Tasks: 10, DecodeFailures: 2}})
 	RenderBatchSweep(&sb, []BatchScalingRow{{Batch: 64, Tasks: 1, Cores: 1}})
+	RenderSchedulerSweep(&sb, []SchedulerScalingRow{{Schedulers: 2, Tasks: 1, Cores: 1}})
 	RenderFig10(&sb, []Fig10Row{{Tasks: 1, Concurrency: 1}})
 	RenderFig11(&sb, &Fig11Result{Repetitions: 1, Budget: 1, GridPixels: 100,
 		AUAErrors: []float64{1}, RandomErrors: []float64{2},
 		AUAConvergence: []float64{1}, RandomConvergence: []float64{2}})
 	out := sb.String()
 	for _, want := range []string{"entk_setup", "speedup", "peak_MB", "attempts", "median",
-		"failed to decode", "batch sweep"} {
+		"failed to decode", "batch sweep", "scheduler sweep"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendered output missing %q", want)
 		}

@@ -94,6 +94,21 @@ func RenderBatchSweep(w io.Writer, rows []BatchScalingRow) {
 	}
 }
 
+// RenderSchedulerSweep prints the scheduler-concurrency grid of
+// Fig8SchedulerSweep.
+func RenderSchedulerSweep(w io.Writer, rows []SchedulerScalingRow) {
+	title := "Fig 8 scheduler sweep: weak-scaling overheads vs agent schedulers"
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%8s %8s %8s %12s %12s %12s %12s\n",
+		"scheds", "tasks", "cores", "task_exec", "staging", "entk_mgmt", "rts_ovh")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8d %8d %12.2f %12.2f %12.2f %12.2f\n",
+			r.Schedulers, r.Tasks, r.Cores,
+			r.Report.TaskExecution, r.Report.DataStaging,
+			r.Report.EnTKManagement, r.Report.RTSOverhead)
+	}
+}
+
 // RenderFig10 prints the seismic concurrency sweep.
 func RenderFig10(w io.Writer, rows []Fig10Row) {
 	title := "Fig 10: Specfem forward simulations on Titan (384 nodes/task)"

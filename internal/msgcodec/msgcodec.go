@@ -45,6 +45,7 @@ const (
 	FrameFig6Task    byte = 0x05 // Fig 6 prototype task body
 	FrameJournalRec  byte = 0x06 // journal record framing
 	FrameStateRec    byte = 0x07 // journaled state-transition record
+	FrameStoreRec    byte = 0x08 // journaled RTS task-store audit record
 
 	FrameBrokerPublish      byte = 0x10 // durable-queue publish record
 	FrameBrokerAck          byte = 0x11 // durable-queue ack record

@@ -261,6 +261,46 @@ func TestStateRecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStoreRecRoundTrip(t *testing.T) {
+	cases := []StoreRec{
+		{Op: "push", UIDs: []string{"task.000001"}},
+		{Op: "pull", UIDs: []string{"task.000001", "task.000002", "task.000003"}},
+		{Op: "push", UIDs: nil},
+		{Op: "pull", UIDs: []string{`uid "quoted"`, "日本"}},
+	}
+	for _, f := range formats {
+		for _, rec := range cases {
+			got, err := DecodeStoreRec(f.EncodeStoreRec(rec.Op, rec.UIDs))
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if got.Op != rec.Op || len(got.UIDs) != len(rec.UIDs) ||
+				(len(rec.UIDs) > 0 && !reflect.DeepEqual(got.UIDs, rec.UIDs)) {
+				t.Fatalf("%v: got %+v want %+v", f, got, rec)
+			}
+		}
+	}
+}
+
+// TestStoreRecJSONCompat pins the JSON wire shape to the store's original
+// generic-JSON audit record ({"uids":[...],"op":"..."}), so journals
+// written before the typed codec replay through DecodeStoreRec, and
+// JSON-format journals stay byte-identical to the old inspection format.
+func TestStoreRecJSONCompat(t *testing.T) {
+	rec := StoreRec{Op: "push", UIDs: []string{"task.000001", "task.000002"}}
+	want, _ := json.Marshal(rec)
+	got := FormatJSON.EncodeStoreRec(rec.Op, rec.UIDs)
+	if string(got) != string(want) {
+		t.Fatalf("JSON store record drifted: got %s want %s", got, want)
+	}
+	// An old record produced by the generic journal.Append path decodes.
+	old := []byte(`{"uids":["task.1","task.2"],"op":"pull"}`)
+	dec, err := DecodeStoreRec(old)
+	if err != nil || dec.Op != "pull" || len(dec.UIDs) != 2 {
+		t.Fatalf("legacy store record: %+v, %v", dec, err)
+	}
+}
+
 func TestJournalRecRoundTrip(t *testing.T) {
 	data := FormatBinary.EncodeStateRec("task", "t.1", "DONE")
 	payload := AppendJournalRec(nil, 99, "state", data)
@@ -344,6 +384,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Add(FormatBinary.EncodeFig6Task(&Fig6Task{UID: "t", Executable: "sleep", Arguments: []string{"0"}, Cores: 1}))
 	f.Add(FormatBinary.EncodeStateRec("task", "t.1", "DONE"))
+	f.Add(FormatBinary.EncodeStoreRec("push", []string{"task.1", "task.2"}))
 	f.Add(AppendJournalRec(nil, 1, "state", []byte("x")))
 	if b, err := FormatBinary.EncodeBrokerPublishBatch("q", []BrokerMsg{{ID: 1, Body: []byte("b")}}); err == nil {
 		f.Add(b)
@@ -362,6 +403,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeTaskResults(body)           //nolint:errcheck
 		DecodeFig6Task(body, &Fig6Task{}) //nolint:errcheck
 		DecodeStateRec(body)              //nolint:errcheck
+		DecodeStoreRec(body)              //nolint:errcheck
 		DecodeJournalRec(body)            //nolint:errcheck
 		DecodeBrokerPublish(body)         //nolint:errcheck
 		DecodeBrokerAck(body)             //nolint:errcheck

@@ -540,6 +540,75 @@ func DecodeStateRec(body []byte) (StateRec, error) {
 	return sr, nil
 }
 
+// ---- journaled RTS task-store audit records -----------------------------
+
+// StoreRec is the journal payload of one RTS task-store operation: one
+// record per Push or Pull batch, covering every task the call moved. The
+// field order (uids before op) is part of the JSON wire shape — it matches
+// the store's original generic-JSON record, so journals written before the
+// typed codec replay through DecodeStoreRec unchanged.
+type StoreRec struct {
+	UIDs []string `json:"uids"`
+	Op   string   `json:"op"` // "push" | "pull"
+}
+
+// EncodeStoreRec encodes one store audit record in format f. Infallible:
+// both paths are hand-rolled appends.
+func (f Format) EncodeStoreRec(op string, uids []string) []byte {
+	bp, buf := getBuf()
+	if f == FormatJSON {
+		buf = append(buf, `{"uids":[`...)
+		for i, uid := range uids {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, uid)
+		}
+		buf = append(buf, `],"op":`...)
+		buf = appendJSONString(buf, op)
+		buf = append(buf, '}')
+		return putBuf(bp, buf)
+	}
+	buf = appendHeader(buf, FrameStoreRec)
+	buf = appendString(buf, op)
+	buf = appendUvarint(buf, uint64(len(uids)))
+	for _, uid := range uids {
+		buf = appendString(buf, uid)
+	}
+	return putBuf(bp, buf)
+}
+
+// DecodeStoreRec decodes a store audit record of either format.
+func DecodeStoreRec(body []byte) (StoreRec, error) {
+	var sr StoreRec
+	if !IsBinary(body) {
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return StoreRec{}, fmt.Errorf("msgcodec: store record: %w", err)
+		}
+		return sr, nil
+	}
+	r, err := frameReader(body, FrameStoreRec)
+	if err != nil {
+		return StoreRec{}, err
+	}
+	if sr.Op, err = r.str(); err != nil {
+		return StoreRec{}, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return StoreRec{}, err
+	}
+	if n > 0 {
+		sr.UIDs = make([]string, n)
+		for i := range sr.UIDs {
+			if sr.UIDs[i], err = r.str(); err != nil {
+				return StoreRec{}, err
+			}
+		}
+	}
+	return sr, nil
+}
+
 // ---- journal record framing ---------------------------------------------
 
 // AppendJournalRec appends the binary framing of one journal record

@@ -3,6 +3,7 @@ package rts
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -14,11 +15,15 @@ import (
 
 // agent is the pilot-side module (paper Fig 3): a scheduler that places
 // tasks on the pilot's cores and an executor that sets up each task's
-// environment, stages data and spawns the executable.
+// environment, stages data and spawns the executable. With schedulers > 1
+// the scheduler is a pool of loops draining the sharded store concurrently
+// (the multi-scheduler agent); the core/GPU ledger stays shared, so
+// resource admission is identical in every configuration.
 type agent struct {
-	rts   *PilotRTS
-	cores int
-	gpus  int
+	rts        *PilotRTS
+	cores      int
+	gpus       int
+	schedulers int
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -26,10 +31,25 @@ type agent struct {
 	freeGPUs int
 	stopping bool
 
+	stagers  *stagerPool
 	stageReq chan *stageRequest
 	wg       sync.WaitGroup
 	stageWG  sync.WaitGroup
 	ranOnce  sync.Once
+
+	// schedStats holds one counter block per scheduler loop (index =
+	// scheduler id), exported through StoreStats.
+	schedStats []schedStat
+}
+
+// schedStat is one scheduler loop's tally: store pulls served and tasks
+// dispatched. Padded to a cache line so adjacent loops' per-task counter
+// updates never false-share — the dispatch path is exactly what the
+// scheduler pool parallelizes.
+type schedStat struct {
+	pulls      atomic.Uint64
+	dispatched atomic.Uint64
+	_          [48]byte
 }
 
 type stageRequest struct {
@@ -45,14 +65,20 @@ type stageGrant struct {
 	duration time.Duration
 }
 
-func newAgent(r *PilotRTS, cores, gpus int) *agent {
+func newAgent(r *PilotRTS, cores, gpus, schedulers int) *agent {
+	if schedulers < 1 {
+		schedulers = 1
+	}
 	a := &agent{
-		rts:      r,
-		cores:    cores,
-		gpus:     gpus,
-		free:     cores,
-		freeGPUs: gpus,
-		stageReq: make(chan *stageRequest, 4096),
+		rts:        r,
+		cores:      cores,
+		gpus:       gpus,
+		schedulers: schedulers,
+		free:       cores,
+		freeGPUs:   gpus,
+		stagers:    newStagerPool(r.model.Stagers),
+		stageReq:   make(chan *stageRequest, 4096),
+		schedStats: make([]schedStat, schedulers),
 	}
 	a.cond = sync.NewCond(&a.mu)
 	return a
@@ -73,20 +99,63 @@ func (a *agent) run() {
 			a.stageWG.Add(1)
 			go a.stagerLoop()
 		}
-		a.wg.Add(1)
-		go a.schedulerLoop()
+		for id := 0; id < a.schedulers; id++ {
+			a.wg.Add(1)
+			go a.schedulerLoop(id)
+		}
 		a.mu.Unlock()
 	})
 }
 
-// stagerLoop serializes data staging through one worker (RP's default
-// single stager), charging the Data Staging category. The worker keeps a
-// virtual watermark instead of sleeping per request, so the serialization is
-// exact in virtual time while requesters sleep concurrently — this keeps the
-// wall cost of thousands of staged tasks negligible.
+// stagerPool models the agent's pool of Model.Stagers data-staging workers
+// in virtual time: one serialization watermark per modelled stager, shared
+// by every stagerLoop goroutine. A request is booked on the stager with the
+// earliest watermark, so the staging makespan is deterministic regardless
+// of which goroutine happens to dequeue which request — Stagers=1 is RP's
+// strictly serialized default (every staging queues behind the previous
+// one), Stagers=K overlaps at most K stagings in virtual time. Keeping the
+// watermarks shared (instead of one private watermark per goroutine, which
+// made the modelled parallelism depend on the Go scheduler's request
+// distribution) is what makes the semantics well-defined.
+type stagerPool struct {
+	mu    sync.Mutex
+	marks []time.Time
+}
+
+func newStagerPool(n int) *stagerPool {
+	if n < 1 {
+		n = 1
+	}
+	return &stagerPool{marks: make([]time.Time, n)}
+}
+
+// grant books duration d on the earliest-available stager at virtual time
+// now, returning when the staging will have completed.
+func (p *stagerPool) grant(now time.Time, d time.Duration) time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := 0
+	for i := 1; i < len(p.marks); i++ {
+		if p.marks[i].Before(p.marks[best]) {
+			best = i
+		}
+	}
+	start := now
+	if p.marks[best].After(start) {
+		start = p.marks[best]
+	}
+	end := start.Add(d)
+	p.marks[best] = end
+	return end
+}
+
+// stagerLoop services staging requests against the shared stager pool,
+// charging the Data Staging category. The pool keeps virtual watermarks
+// instead of sleeping per request, so the Stagers-way serialization is
+// exact in virtual time while requesters sleep concurrently — this keeps
+// the wall cost of thousands of staged tasks negligible.
 func (a *agent) stagerLoop() {
 	defer a.stageWG.Done()
-	var watermark time.Time
 	for {
 		select {
 		case <-a.rts.stopCh:
@@ -97,12 +166,7 @@ func (a *agent) stagerLoop() {
 				d := a.rts.cfg.FS.StageAccounted(req.files)
 				a.rts.prof.Add(profiler.DataStaging, d)
 				now := a.rts.clock.Now()
-				start := now
-				if watermark.After(start) {
-					start = watermark
-				}
-				end := start.Add(d)
-				watermark = end
+				end := a.stagers.grant(now, d)
 				grant = stageGrant{wait: end.Sub(now), duration: d}
 			}
 			select {
@@ -151,20 +215,50 @@ const schedulerPullBatch = 256
 // burst of dispatches the stagger is applied as a per-task start delay
 // slept by the executor, which is virtually identical to a serial scheduler
 // but costs one wall sleep per task instead of a serial chain.
-func (a *agent) schedulerLoop() {
+//
+// A single-scheduler agent pulls in strict push-sequence order (today's
+// exact FIFO); with schedulers > 1, each loop drains its preferred store
+// shard and work-steals from the next non-empty one — the broker-consumer
+// structure — and the DispatchLatency burst state is per scheduler, so
+// concurrent loops stagger their own dispatch chains independently.
+func (a *agent) schedulerLoop(id int) {
 	defer a.wg.Done()
 	burst := 0
+	st := &a.schedStats[id]
+	single := a.schedulers == 1
 	for {
-		descs, ok := a.rts.store.PullBatch(schedulerPullBatch)
+		var descs []core.TaskDescription
+		var ok bool
+		if single {
+			descs, ok = a.rts.store.PullBatch(schedulerPullBatch)
+		} else {
+			descs, ok = a.rts.store.PullBatchPreferred(id, schedulerPullBatch)
+		}
 		if !ok {
+			// Closed — or failed on a journal append; a failed store kills
+			// the RTS so the loss is visible to EnTK's heartbeat.
+			a.rts.noteStoreFailure()
 			return
 		}
+		st.pulls.Add(1)
 		for _, desc := range descs {
 			if !a.place(desc, &burst) {
 				return // agent stopping
 			}
+			st.dispatched.Add(1)
 		}
 	}
+}
+
+// schedulerStats snapshots the per-scheduler pull and dispatch tallies.
+func (a *agent) schedulerStats() (pulls, dispatched []uint64) {
+	pulls = make([]uint64, len(a.schedStats))
+	dispatched = make([]uint64, len(a.schedStats))
+	for i := range a.schedStats {
+		pulls[i] = a.schedStats[i].pulls.Load()
+		dispatched[i] = a.schedStats[i].dispatched.Load()
+	}
+	return pulls, dispatched
 }
 
 // place schedules one task, blocking until its cores and GPUs are free; it

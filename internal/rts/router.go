@@ -217,6 +217,31 @@ func (r *Router) Utilization() core.Utilization {
 	return u
 }
 
+// StoreStats implements core.StoreStatsReporter by aggregating the members
+// that can report their task stores: counters sum, shard depths and
+// per-scheduler tallies concatenate in member order (a campaign-wide view
+// of every pilot's scheduler pool).
+func (r *Router) StoreStats() core.StoreStats {
+	var out core.StoreStats
+	for _, m := range r.members {
+		sr, ok := m.rts.(core.StoreStatsReporter)
+		if !ok {
+			continue
+		}
+		st := sr.StoreStats()
+		out.Shards += st.Shards
+		out.ShardDepths = append(out.ShardDepths, st.ShardDepths...)
+		out.Depth += st.Depth
+		out.Pushed += st.Pushed
+		out.Pulled += st.Pulled
+		out.Steals += st.Steals
+		out.Schedulers += st.Schedulers
+		out.SchedulerPulls = append(out.SchedulerPulls, st.SchedulerPulls...)
+		out.SchedulerDispatches = append(out.SchedulerDispatches, st.SchedulerDispatches...)
+	}
+	return out
+}
+
 // Alive implements core.RTS: the router is alive while every member is
 // (EnTK's heartbeat then replaces the whole composite, preserving the
 // paper's black-box failure model).

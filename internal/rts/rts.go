@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,8 +46,16 @@ type Config struct {
 	StorePath string
 	// QueueShards shards the task store's ready storage the same way the
 	// EnTK broker queues are sharded (0 = min(GOMAXPROCS, 8), 1 = single
-	// lock), so a future multi-scheduler agent can drain it concurrently.
+	// lock), so the multi-scheduler agent can drain it concurrently.
 	QueueShards int
+	// Schedulers is the agent's scheduler concurrency: how many scheduler
+	// loops drain the task store. 0 selects min(GOMAXPROCS, store shards);
+	// 1 reproduces the single-scheduler agent — and with it strict
+	// push-order FIFO dispatch — exactly. With more than one scheduler,
+	// each loop drains a preferred store shard and work-steals from the
+	// next non-empty one; per-shard FIFO survives, cross-shard order does
+	// not (see docs/api.md for the ordering contract).
+	Schedulers int
 }
 
 // PilotRTS is the pilot-based runtime system implementing core.RTS.
@@ -143,7 +152,7 @@ func (r *PilotRTS) Start(ctx context.Context) error {
 		return fmt.Errorf("rts: pilot submission: %w", err)
 	}
 	r.pilot = pilot
-	r.agent = newAgent(r, res.Cores, res.GPUs)
+	r.agent = newAgent(r, res.Cores, res.GPUs, r.resolveSchedulers())
 
 	go func() {
 		select {
@@ -167,6 +176,34 @@ func (r *PilotRTS) Start(ctx context.Context) error {
 		}
 	}()
 	return nil
+}
+
+// resolveSchedulers applies the Schedulers default: min(GOMAXPROCS, store
+// shards), so an unconfigured agent scales with the hardware but never
+// spins more loops than there are shards to drain.
+func (r *PilotRTS) resolveSchedulers() int {
+	n := r.cfg.Schedulers
+	if n > 0 {
+		return n
+	}
+	n = runtime.GOMAXPROCS(0)
+	if shards := len(r.store.shards); n > shards {
+		n = shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// noteStoreFailure kills the RTS when the store closed because of a
+// journaling failure: the audit loss surfaces as an RTS death — EnTK's
+// heartbeat tears the instance down and resubmits the lost tasks — instead
+// of a silently dropped record.
+func (r *PilotRTS) noteStoreFailure() {
+	if r.store != nil && r.store.Err() != nil {
+		r.alive.Store(false)
+	}
 }
 
 // Submit implements core.RTS: the UnitManager schedules tasks to the agent
@@ -271,6 +308,21 @@ func (r *PilotRTS) Utilization() core.Utilization {
 		u.GPUsBusy = u.GPUsTotal - r.agent.FreeGPUs()
 	}
 	return u
+}
+
+// StoreStats implements core.StoreStatsReporter: the task store's
+// QueueStats-style counters (per-shard depths, push/pull/steal tallies)
+// merged with the agent's per-scheduler pull and dispatch counts.
+func (r *PilotRTS) StoreStats() core.StoreStats {
+	var st core.StoreStats
+	if r.store != nil {
+		st = r.store.stats()
+	}
+	if r.agent != nil {
+		st.Schedulers = r.agent.schedulers
+		st.SchedulerPulls, st.SchedulerDispatches = r.agent.schedulerStats()
+	}
+	return st
 }
 
 // Stats implements core.RTS.

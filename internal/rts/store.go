@@ -13,12 +13,18 @@ import (
 // role MongoDB plays in RADICAL-Pilot ("The UnitManager schedules each task
 // to an Agent via a queue on a MongoDB instance. Each Agent pulls its tasks
 // from the DB module"). Like the broker's queues it is sharded: each Push
-// lands its batch on one independently locked shard, round-robin, and
-// pullers drain the shard whose front batch carries the lowest push
-// sequence. With today's single scheduler that reproduces strict push-order
-// FIFO exactly; the sharding is the same scaling structure the broker uses,
-// ready for a multi-scheduler agent to drain shards concurrently. It is a
-// blocking-pull FIFO with optional journal-backed durability.
+// lands its batch on one independently locked shard, round-robin. Pullers
+// come in two shapes, matching the two agent configurations:
+//
+//   - PullBatch drains the shard whose front batch carries the lowest push
+//     sequence — with a single scheduler that reproduces strict push-order
+//     FIFO exactly;
+//   - PullBatchPreferred drains a preferred shard and work-steals from the
+//     next non-empty one, the same structure the broker's consumers use —
+//     the multi-scheduler agent's side, where each scheduler loop owns a
+//     preferred shard and cross-shard ordering is traded for parallel drain.
+//
+// It is a blocking-pull FIFO with optional journal-backed durability.
 type store struct {
 	shards  []*storeShard
 	pushSeq atomic.Uint64 // batch sequence, also the round-robin cursor
@@ -31,6 +37,10 @@ type store struct {
 
 	pushed atomic.Uint64
 	pulled atomic.Uint64
+	steals atomic.Uint64 // pull batches served off a non-preferred shard
+
+	errMu sync.Mutex
+	err   error // first journaling failure; the store closes with it
 }
 
 // storeBatch is one Push call's tasks, stamped with its push sequence.
@@ -72,25 +82,43 @@ func newStore(jrn *journal.Journal, shards int) *store {
 	return s
 }
 
-// storeRec is the audit record for store traffic: one record per Push or
-// Pull/PullBatch call, covering every task the call moved. The shared
-// schema keeps the journal uniform whether the scheduler drains per task
-// or in batches, and amortizes one append over the whole operation.
-type storeRec struct {
-	UIDs []string `json:"uids"`
-	Op   string   `json:"op"` // "push" | "pull"
-}
+// storeRecType namespaces the store's audit records in the journal. The
+// payload is a typed msgcodec.StoreRec frame (binary by default, matching
+// the journal's record framing), one record per Push or Pull/PullBatch
+// call, covering every task the call moved — one append amortized over the
+// whole operation.
+const storeRecType = "rts.store"
 
 func (s *store) journalOp(op string, tasks []core.TaskDescription) error {
 	if s.jrn == nil || len(tasks) == 0 {
 		return nil
 	}
-	rec := storeRec{UIDs: make([]string, len(tasks)), Op: op}
+	uids := make([]string, len(tasks))
 	for i, t := range tasks {
-		rec.UIDs[i] = t.UID
+		uids[i] = t.UID
 	}
-	_, err := s.jrn.Append("rts.store", rec)
+	_, err := s.jrn.AppendRaw(storeRecType, s.jrn.Format().EncodeStoreRec(op, uids))
 	return err
+}
+
+// fail records the first journaling error and closes the store: an audit
+// record that cannot be appended surfaces as a store failure — killing the
+// RTS so EnTK resubmits the lost tasks — instead of silently vanishing
+// (the execmanager's no-swallowed-errors rule).
+func (s *store) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+	s.Close()
+}
+
+// Err returns the journaling failure the store closed with, if any.
+func (s *store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
 }
 
 // Push appends task descriptions as one sequence-stamped batch on the next
@@ -131,36 +159,66 @@ func (s *store) minShard() *storeShard {
 	return best
 }
 
-// popBatch pops up to max tasks from the oldest batch, under that shard's
-// lock. ok=false means every shard was empty at the time of the scan.
+// popShard pops up to max tasks from sh's front batch under its lock.
+// ok=false means the shard was empty (raced with a concurrent puller).
+func (s *store) popShard(sh *storeShard, max int) ([]core.TaskDescription, bool) {
+	sh.mu.Lock()
+	if len(sh.batches) == 0 {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	front := &sh.batches[0]
+	n := max
+	if len(front.tasks) < n {
+		n = len(front.tasks)
+	}
+	out := front.tasks[:n:n]
+	front.tasks = front.tasks[n:]
+	if len(front.tasks) == 0 {
+		sh.batches[0] = storeBatch{}
+		sh.batches = sh.batches[1:]
+	}
+	sh.depth.Add(-int64(n))
+	sh.syncHeadLocked()
+	sh.mu.Unlock()
+	s.pulled.Add(uint64(n))
+	return out, true
+}
+
+// popBatch pops up to max tasks from the oldest batch. ok=false means every
+// shard was empty at the time of the scan.
 func (s *store) popBatch(max int) ([]core.TaskDescription, bool) {
 	for {
 		sh := s.minShard()
 		if sh == nil {
 			return nil, false
 		}
-		sh.mu.Lock()
-		if len(sh.batches) == 0 {
-			sh.mu.Unlock()
-			continue // raced with a concurrent puller; rescan
+		if out, ok := s.popShard(sh, max); ok {
+			return out, true
 		}
-		front := &sh.batches[0]
-		n := max
-		if len(front.tasks) < n {
-			n = len(front.tasks)
-		}
-		out := front.tasks[:n:n]
-		front.tasks = front.tasks[n:]
-		if len(front.tasks) == 0 {
-			sh.batches[0] = storeBatch{}
-			sh.batches = sh.batches[1:]
-		}
-		sh.depth.Add(-int64(n))
-		sh.syncHeadLocked()
-		sh.mu.Unlock()
-		s.pulled.Add(uint64(n))
-		return out, true
+		// Raced with a concurrent puller; rescan.
 	}
+}
+
+// popPreferred pops up to max tasks from the preferred shard's front batch,
+// or — work-stealing — from the next non-empty shard in rotation. A pop
+// served off a non-preferred shard counts in the Steals statistic.
+func (s *store) popPreferred(pref, max int) ([]core.TaskDescription, bool) {
+	n := len(s.shards)
+	pref %= n
+	for i := 0; i < n; i++ {
+		sh := s.shards[(pref+i)%n]
+		if sh.headSeq.Load() == 0 {
+			continue
+		}
+		if out, ok := s.popShard(sh, max); ok {
+			if i != 0 {
+				s.steals.Add(1)
+			}
+			return out, true
+		}
+	}
+	return nil, false
 }
 
 // waitReady blocks until a task is available or the store closes; it
@@ -184,9 +242,28 @@ func (s *store) Pull() (core.TaskDescription, bool) {
 }
 
 // PullBatch blocks until at least one task is available, then pops up to
-// max tasks under one shard-lock acquisition and one journal append — the
-// Agent's side of the batched hot path. ok=false means the store closed.
+// max tasks — in strict push-sequence order — under one shard-lock
+// acquisition and one journal append. ok=false means the store closed; a
+// journal append that fails closes the store (see fail), so the failure is
+// never silently dropped.
 func (s *store) PullBatch(max int) ([]core.TaskDescription, bool) {
+	return s.pullLoop(max, func(m int) ([]core.TaskDescription, bool) {
+		return s.popBatch(m)
+	})
+}
+
+// PullBatchPreferred is PullBatch for one multi-scheduler loop: it drains
+// the preferred shard first and steals from the next non-empty shard,
+// giving up strict cross-shard push order for parallel drain (each shard
+// stays FIFO on its own).
+func (s *store) PullBatchPreferred(pref, max int) ([]core.TaskDescription, bool) {
+	return s.pullLoop(max, func(m int) ([]core.TaskDescription, bool) {
+		return s.popPreferred(pref, m)
+	})
+}
+
+// pullLoop is the shared blocking-pull skeleton around one pop policy.
+func (s *store) pullLoop(max int, pop func(int) ([]core.TaskDescription, bool)) ([]core.TaskDescription, bool) {
 	if max <= 0 {
 		max = 1
 	}
@@ -194,9 +271,15 @@ func (s *store) PullBatch(max int) ([]core.TaskDescription, bool) {
 		if s.closed.Load() && s.Depth() == 0 {
 			return nil, false
 		}
-		batch, ok := s.popBatch(max)
+		batch, ok := pop(max)
 		if ok {
-			s.journalOp("pull", batch) //nolint:errcheck
+			if err := s.journalOp("pull", batch); err != nil {
+				// The popped tasks are dropped with the failing store — the
+				// paper's failure model: a dead RTS loses its in-flight
+				// tasks, and EnTK resubmits them on the replacement.
+				s.fail(err)
+				return nil, false
+			}
 			return batch, true
 		}
 		if s.closed.Load() {
@@ -213,6 +296,24 @@ func (s *store) Depth() int {
 		t += sh.depth.Load()
 	}
 	return int(t)
+}
+
+// stats returns the store's QueueStats-style counter block; the agent's
+// per-scheduler tallies are merged in by PilotRTS.StoreStats.
+func (s *store) stats() core.StoreStats {
+	st := core.StoreStats{
+		Shards:      len(s.shards),
+		ShardDepths: make([]int, len(s.shards)),
+		Pushed:      s.pushed.Load(),
+		Pulled:      s.pulled.Load(),
+		Steals:      s.steals.Load(),
+	}
+	for i, sh := range s.shards {
+		d := int(sh.depth.Load())
+		st.ShardDepths[i] = d
+		st.Depth += d
+	}
+	return st
 }
 
 // Close releases blocked pullers; queued tasks are dropped (a dead RTS
