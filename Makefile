@@ -14,7 +14,7 @@ GO ?= go
 # stay ahead of JSON). Stable, fast, and the numbers this repo's PRs argue
 # about. benchdiff also gates allocs/op at 10%, and on CI the alloc gate
 # is a hard failure while ns/op stays warn-only (see docs/ci.md).
-BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec)
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery)
 
 .PHONY: build test bench lint bench-json bench-gate bench-baseline
 

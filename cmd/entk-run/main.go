@@ -24,6 +24,11 @@
 // counts from the run handle's Snapshot. -cancel cancels the named
 // pipeline shortly after the run starts — its entities reach terminal
 // CANCELED states while sibling pipelines execute to completion.
+//
+// -journal <dir> makes the run durable: every committed transition lands
+// in a segmented journal with periodic snapshots (docs/recovery.md). After
+// a crash, -resume with the same -journal directory continues the run
+// without re-executing completed tasks.
 package main
 
 import (
@@ -49,10 +54,16 @@ func main() {
 		cancelP  = flag.String("cancel", "", "cancel the named pipeline shortly after start")
 		wire     = flag.String("wire", "binary", "control-plane wire format: binary (fast) or json (inspectable messages and journal)")
 		scheds   = flag.Int("schedulers", 0, "agent scheduler loops draining the task store (0 = min(GOMAXPROCS, shards), 1 = strict-FIFO single scheduler)")
+		jdir     = flag.String("journal", "", "directory for the durable state journal (segments + snapshots + RTS audit); enables crash recovery")
+		resume   = flag.Bool("resume", false, "continue the journaled run found in -journal (completed tasks are not re-executed)")
 	)
 	flag.Parse()
 	if *appPath == "" {
 		fmt.Fprintln(os.Stderr, "entk-run: -app is required (see -h)")
+		os.Exit(2)
+	}
+	if *resume && *jdir == "" {
+		fmt.Fprintln(os.Stderr, "entk-run: -resume requires -journal (see -h)")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(*appPath)
@@ -86,6 +97,7 @@ func main() {
 		Seed:             desc.Seed,
 		WireFormat:       *wire,
 		SchedulerWorkers: *scheds,
+		JournalDir:       *jdir,
 	})
 	if err != nil {
 		fatal(err)
@@ -115,7 +127,18 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	start := time.Now()
-	run, runErr := am.Start(ctx)
+	var run *entk.Run
+	var runErr error
+	if *resume {
+		run, runErr = am.Resume(ctx, *jdir)
+		if runErr == nil {
+			ri := am.Core().RecoveryInfo()
+			fmt.Printf("resumed from %s: snapshot@%d, %d journal records replayed, %d tasks already done\n",
+				*jdir, ri.SnapshotSeq, ri.ReplayedRecords, ri.TasksRecovered)
+		}
+	} else {
+		run, runErr = am.Start(ctx)
+	}
 	if runErr == nil {
 		if *cancelP != "" {
 			go cancelByName(run, pipes, *cancelP)

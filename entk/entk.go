@@ -51,6 +51,7 @@ package entk
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -111,6 +112,11 @@ type (
 	StoreStats = core.StoreStats
 	// CancelError is the error a run finishes with after Run.Cancel.
 	CancelError = core.CancelError
+	// DurabilityStats reports the crash-recovery subsystem inside a
+	// Progress snapshot (nil for non-durable runs).
+	DurabilityStats = core.DurabilityStats
+	// RecoveryInfo summarizes what a resumed run reconstructed at startup.
+	RecoveryInfo = core.RecoveryInfo
 )
 
 // Event kinds.
@@ -220,8 +226,23 @@ type AppConfig struct {
 	WireFormat string
 	// RTSRestarts bounds RTS restarts after runtime-system failures.
 	RTSRestarts int
-	// JournalPath enables transactional state journaling and recovery.
+	// JournalPath enables transactional state journaling and recovery into
+	// one flat journal file. Mutually exclusive with JournalDir.
 	JournalPath string
+	// JournalDir enables the full durability mode (docs/recovery.md): a
+	// segmented state journal, periodic statedb snapshots with watermark
+	// compaction, and RTS submission audit records, all in one directory. A
+	// run crashed mid-flight is continued with AppManager.Resume on the same
+	// directory — completed tasks are not re-executed. Mutually exclusive
+	// with JournalPath.
+	JournalDir string
+	// SnapshotEvery is the durable mode's snapshot cadence in committed
+	// state records (default 1024); negative disables snapshots (journal
+	// only, no compaction). Ignored without JournalDir.
+	SnapshotEvery int
+	// SegmentBytes is the durable mode's journal segment rotation threshold
+	// (default journal.DefaultSegmentBytes). Ignored without JournalDir.
+	SegmentBytes int64
 	// StateStore mirrors every state transition to an external database
 	// (paper §II-B4); see NewStateDB for the bundled implementation. A
 	// restarted application reacquires completed-task states from it.
@@ -375,6 +396,9 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Clock:            clock,
 		Host:             host,
 		JournalPath:      cfg.JournalPath,
+		JournalDir:       cfg.JournalDir,
+		SnapshotEvery:    cfg.SnapshotEvery,
+		SegmentBytes:     cfg.SegmentBytes,
 		StateStore:       cfg.StateStore,
 		TaskRetries:      cfg.TaskRetries,
 		RTSRestarts:      cfg.RTSRestarts,
@@ -405,6 +429,12 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Seed:        cfg.Seed,
 		QueueShards: cfg.QueueShards,
 		Schedulers:  cfg.SchedulerWorkers,
+	}
+	if cfg.JournalDir != "" {
+		// Durable mode audits RTS submissions next to the state journal, so
+		// a resumed run can prove completed tasks were not re-submitted
+		// (docs/recovery.md, exactly-once verification).
+		baseRTS.StorePath = filepath.Join(cfg.JournalDir, "rts-audit.log")
 	}
 	if len(cfg.ExtraResources) == 0 {
 		am.SetRTSFactory(rts.Factory(baseRTS))
@@ -563,6 +593,45 @@ func (a *AppManager) Run(ctx context.Context) error {
 		return err
 	}
 	return run.Wait()
+}
+
+// Resume continues a previously journaled run from journalDir: the state
+// recorded by the crashed incarnation (newest snapshot plus journal tail) is
+// reconstructed, completed tasks are not re-executed, and the run proceeds
+// to completion. The application must be registered (AddPipelines) with the
+// same description — and, for cross-process resume, deterministic UIDs (the
+// JSON Build path assigns them) — before calling Resume. Construct the
+// AppManager with AppConfig.JournalDir set to the same directory so the RTS
+// audit log lands next to the journal; Resume overrides the core journal
+// location either way. Resuming a fresh directory is a durable first run.
+// Like Start, Resume is single-shot per AppManager.
+func (a *AppManager) Resume(ctx context.Context, journalDir string) (*Run, error) {
+	inner, err := a.inner.Resume(ctx, journalDir)
+	if err != nil {
+		if !errors.Is(err, core.ErrAlreadyRan) {
+			a.teardown()
+		}
+		return nil, err
+	}
+	return &Run{a: a, inner: inner}, nil
+}
+
+// Resume builds an AppManager for cfg (which must set JournalDir), registers
+// pipes, and continues the journaled run found in cfg.JournalDir — the
+// package-level convenience behind `entk-run -resume`.
+func Resume(ctx context.Context, cfg AppConfig, pipes ...*Pipeline) (*Run, error) {
+	if cfg.JournalDir == "" {
+		return nil, errors.New("entk: Resume requires AppConfig.JournalDir")
+	}
+	am, err := NewAppManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := am.AddPipelines(pipes...); err != nil {
+		am.teardown()
+		return nil, err
+	}
+	return am.Resume(ctx, cfg.JournalDir)
 }
 
 // Report returns the paper-style overhead decomposition of the run.

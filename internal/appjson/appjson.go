@@ -210,13 +210,22 @@ func (a *App) Build() ([]*core.Pipeline, int, error) {
 	var pipes []*core.Pipeline
 	byName := map[string]*core.Pipeline{}
 	total := 0
-	for _, pd := range a.Pipelines {
+	for pi, pd := range a.Pipelines {
 		pipe := core.NewPipeline(pd.Name)
+		// Structural UIDs: derived from the entity's position in the
+		// document, not the process-global counter, so two processes
+		// building the same document name every entity identically — the
+		// property cross-process Resume needs to match journaled states
+		// back to entities (docs/recovery.md). The usual entity-kind
+		// prefixes are preserved.
+		pipe.UID = fmt.Sprintf("pipeline.%03d", pi)
 		if pd.Name != "" {
 			byName[pd.Name] = pipe
 		}
-		for _, sd := range pd.Stages {
+		for si, sd := range pd.Stages {
 			stage := core.NewStage(sd.Name)
+			stage.UID = fmt.Sprintf("stage.%03d.%03d", pi, si)
+			ti := 0
 			for _, td := range sd.Tasks {
 				copies := td.Copies
 				if copies < 1 {
@@ -224,6 +233,8 @@ func (a *App) Build() ([]*core.Pipeline, int, error) {
 				}
 				for c := 0; c < copies; c++ {
 					t := core.NewTask(fmt.Sprintf("%s-%03d", td.Name, c))
+					t.UID = fmt.Sprintf("task.%03d.%03d.%05d", pi, si, ti)
+					ti++
 					t.Executable = td.Executable
 					t.Arguments = append([]string(nil), td.Arguments...)
 					if len(td.Environment) > 0 {

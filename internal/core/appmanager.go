@@ -13,6 +13,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/msgcodec"
 	"repro/internal/profiler"
+	"repro/internal/statedb"
 	"repro/internal/vclock"
 )
 
@@ -33,8 +34,25 @@ type Config struct {
 	// Profiler receives overhead measurements. Created if nil.
 	Profiler *profiler.Profiler
 	// JournalPath, when non-empty, enables transactional state journaling
-	// and crash recovery.
+	// and crash recovery against a single flat journal file. For the full
+	// durability mode — segmented journal, periodic snapshots, compaction
+	// and Resume — use JournalDir instead; the two are mutually exclusive.
 	JournalPath string
+	// JournalDir, when non-empty, enables crash-recoverable runs: state
+	// transitions are journaled into rotating segment files under this
+	// directory, the synchronizer periodically snapshots the committed
+	// state (every SnapshotEvery records) and compacts segments wholly
+	// below the snapshot watermark, and AppManager.Resume reconstructs a
+	// run from the latest snapshot plus the journal tail. See
+	// docs/recovery.md for the durability contract.
+	JournalDir string
+	// SnapshotEvery is the number of committed state records between
+	// snapshots in JournalDir mode. 0 selects the default (1024); negative
+	// disables periodic snapshots (the journal alone remains authoritative).
+	SnapshotEvery int
+	// SegmentBytes is the journal segment rotation threshold in JournalDir
+	// mode. 0 selects journal.DefaultSegmentBytes.
+	SegmentBytes int64
 	// StateStore, when non-nil, mirrors every committed state transition
 	// to an external database — the paper's §II-B4 hook ("Information is
 	// synced on disk and hooks are in place to use an external database").
@@ -98,6 +116,12 @@ func (c *Config) setDefaults() error {
 	if c.TaskRetries < 0 {
 		c.TaskRetries = 0
 	}
+	if c.JournalPath != "" && c.JournalDir != "" {
+		return errors.New("core: JournalPath and JournalDir are mutually exclusive")
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 1024
+	}
 	f, err := msgcodec.ParseFormat(c.WireFormat)
 	if err != nil {
 		return err
@@ -128,6 +152,17 @@ type AppManager struct {
 
 	jrn *journal.Journal
 	brk *broker.Broker
+
+	// Durability state (JournalDir mode). mirror holds the latest committed
+	// state per entity, feeding snapshots; recov summarizes what Resume
+	// reconstructed (written during setup, before components spawn); the
+	// atomic counters track this run's snapshot/compaction activity.
+	mirror            *statedb.DB
+	recov             RecoveryInfo
+	snapPending       int // state records since the last snapshot (synchronizer goroutine only)
+	snapshotsWritten  int64
+	snapshotFailures  int64
+	segmentsCompacted int64
 
 	active int64 // tasks currently being managed (for host strain)
 

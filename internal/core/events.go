@@ -359,6 +359,10 @@ type Progress struct {
 	Store StoreStats
 	// PerPipeline details each registered pipeline.
 	PerPipeline []PipelineProgress
+	// Durability reports the crash-recovery subsystem — what this run
+	// recovered at startup plus live snapshot/compaction counters — and is
+	// nil for non-durable runs (no Config.JournalDir).
+	Durability *DurabilityStats
 }
 
 // Snapshot assembles a Progress view of the application. Safe to call at
@@ -417,6 +421,7 @@ func (am *AppManager) Snapshot() Progress {
 		// knob so dashboards render a stable scheduler count.
 		p.Store.Schedulers = am.cfg.SchedulerWorkers
 	}
+	p.Durability = am.durabilityStats()
 	return p
 }
 

@@ -242,6 +242,14 @@ func (am *AppManager) setup(ctx context.Context) error {
 			return err
 		}
 	}
+	if am.cfg.JournalDir != "" {
+		// Durable mode: segmented journal + statedb mirror + snapshots.
+		// Recovers snapshot + journal tail; a fresh directory is an empty
+		// recovery (Resumed=false) and behaves like a durable first run.
+		if err := am.openDurable(); err != nil {
+			return err
+		}
+	}
 	if am.cfg.StateStore != nil {
 		if err := am.recoverFromStateStore(); err != nil {
 			am.closeJournal()

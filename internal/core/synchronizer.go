@@ -229,11 +229,25 @@ func (s *synchronizer) apply(req *stateRequest) stateAck {
 					return stateAck{OK: false, Err: jerr.Error()}
 				}
 			}
+			// The statedb mirror feeds durable-mode snapshots; a mirror miss
+			// would snapshot stale state, so its failure rejects the frame
+			// exactly like a journal or state-store failure.
+			if s.am.mirror != nil {
+				if derr := s.am.mirror.SaveState(req.Entity, c.uid, req.Target); derr != nil {
+					return stateAck{OK: false, Err: derr.Error()}
+				}
+			}
 			if s.am.cfg.StateStore != nil {
 				if derr := s.am.cfg.StateStore.SaveState(req.Entity, c.uid, req.Target); derr != nil {
 					return stateAck{OK: false, Err: derr.Error()}
 				}
 			}
+		}
+		if len(commits) > 0 {
+			// Snapshot hook: runs on the synchronizer goroutine — the sole
+			// journal writer — so the watermark it reads bounds exactly the
+			// records committed so far.
+			s.am.maybeSnapshot(len(commits))
 		}
 	}
 	if s.am.eventsActive() {

@@ -40,7 +40,9 @@ type Record struct {
 }
 
 // Journal is an append-only, crash-consistent record log. It is safe for
-// concurrent use.
+// concurrent use. A journal opened with Open writes one flat file; one
+// opened with OpenDir writes numbered segment files that rotate at
+// Options.SegmentBytes and can be compacted below a snapshot watermark.
 type Journal struct {
 	mu     sync.Mutex
 	f      *os.File
@@ -50,6 +52,14 @@ type Journal struct {
 	format msgcodec.Format
 	buf    []byte // scratch for header + payload, reused under mu
 	closed bool
+
+	// Segmented (OpenDir) state. dir is empty for flat journals.
+	dir      string
+	segBytes int64
+	segIndex uint64        // index of the active segment
+	segFirst uint64        // first record seq in the active segment (0: none)
+	size     int64         // bytes written to the active segment
+	sealed   []SegmentInfo // closed segments, ascending index
 }
 
 // Options configure journal behaviour.
@@ -62,6 +72,11 @@ type Options struct {
 	// the original length-prefixed JSON records for inspection. Replay
 	// accepts both regardless of this setting.
 	Format msgcodec.Format
+	// SegmentBytes is the rotation threshold for segmented journals
+	// (OpenDir): once the active segment reaches this many bytes, it is
+	// sealed and a fresh segment opened. 0 selects DefaultSegmentBytes.
+	// Ignored by Open.
+	SegmentBytes int64
 }
 
 // ErrClosed is returned by operations on a closed journal.
@@ -117,39 +132,79 @@ func decodePayload(payload []byte) (Record, error) {
 	return rec, nil
 }
 
-// scan walks the journal file, returning the last valid sequence number and
-// the byte length of the valid prefix.
-func scan(path string) (lastSeq uint64, validLen int64, err error) {
+// fileInfo summarizes one journal file's valid prefix.
+type fileInfo struct {
+	firstSeq uint64 // 0 when the file holds no valid record
+	lastSeq  uint64
+	validLen int64
+}
+
+// scanFile walks the journal file at path, invoking fn (when non-nil) for
+// every valid record, and returns the file's valid-prefix summary. A torn
+// tail — truncated header, truncated payload, a length field pointing past
+// the end of the file (a crash can tear the header itself, leaving garbage
+// bytes where the length lives), a CRC mismatch or an undecodable payload —
+// terminates the walk at the last valid record instead of failing it. The
+// length field is validated against the bytes actually remaining before the
+// payload is allocated, so a garbage length can never drive a
+// multi-gigabyte allocation. Only an fn error propagates.
+func scanFile(path string, fn func(Record) error) (fileInfo, error) {
+	var info fileInfo
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, 0, nil
+			return info, nil
 		}
-		return 0, 0, fmt.Errorf("journal: scan: %w", err)
+		return info, fmt.Errorf("journal: scan: %w", err)
 	}
 	defer f.Close()
-	var off int64
+	st, err := f.Stat()
+	if err != nil {
+		return info, fmt.Errorf("journal: scan: %w", err)
+	}
+	size := st.Size()
 	hdr := make([]byte, headerLen)
 	for {
+		if size-info.validLen < int64(headerLen) {
+			return info, nil // clean EOF or torn header: stop here
+		}
 		if _, err := io.ReadFull(f, hdr); err != nil {
-			return lastSeq, off, nil // clean EOF or torn header: stop here
+			return info, nil
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(n) > size-info.validLen-int64(headerLen) {
+			return info, nil // torn or garbage length: treat as tail
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return lastSeq, off, nil // torn payload
+			return info, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return lastSeq, off, nil // corrupted record: treat as tail
+			return info, nil // corrupted record: treat as tail
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
-			return lastSeq, off, nil
+			return info, nil
 		}
-		lastSeq = rec.Seq
-		off += int64(headerLen) + int64(n)
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return info, err
+			}
+		}
+		if info.firstSeq == 0 {
+			info.firstSeq = rec.Seq
+		}
+		info.lastSeq = rec.Seq
+		info.validLen += int64(headerLen) + int64(n)
 	}
+}
+
+// scan returns the last valid sequence number and the byte length of the
+// valid prefix of the journal file at path.
+func scan(path string) (lastSeq uint64, validLen int64, err error) {
+	info, err := scanFile(path, nil)
+	return info.lastSeq, info.validLen, err
 }
 
 // Append serializes data as JSON and appends a record of the given type,
@@ -172,6 +227,22 @@ func (j *Journal) Append(recType string, data interface{}) (uint64, error) {
 func (j *Journal) AppendRaw(recType string, data []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	seq, err := j.appendLocked(recType, data)
+	if err != nil {
+		return 0, err
+	}
+	// Rotate after the append so the record that crossed the threshold
+	// stays in the segment it was assigned to.
+	if j.dir != "" && j.size >= j.segBytes {
+		if err := j.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// appendLocked writes one record to the active file; j.mu must be held.
+func (j *Journal) appendLocked(recType string, data []byte) (uint64, error) {
 	if j.closed {
 		return 0, ErrClosed
 	}
@@ -203,6 +274,10 @@ func (j *Journal) AppendRaw(recType string, data []byte) (uint64, error) {
 		return 0, fmt.Errorf("journal: write: %w", err)
 	}
 	j.seq = seq
+	j.size += int64(len(buf))
+	if j.segFirst == 0 {
+		j.segFirst = seq
+	}
 	if j.sync {
 		if err := j.f.Sync(); err != nil {
 			return 0, fmt.Errorf("journal: sync: %w", err)
@@ -244,39 +319,13 @@ func (j *Journal) Close() error {
 // Replay reads every valid record in the journal at path, in order, invoking
 // fn for each. Both record framings — binary frames and the original JSON —
 // are decoded transparently, so recovery from pre-existing journals keeps
-// working. A torn or corrupted tail terminates replay silently, matching
-// crash-recovery semantics. Replay of a non-existent file is a no-op.
+// working. A zero-length, torn or corrupted tail (including a torn header
+// whose length field is garbage) terminates replay silently at the last
+// valid record, matching crash-recovery semantics. Replay of a non-existent
+// file is a no-op.
 func Replay(path string, fn func(Record) error) error {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("journal: replay open: %w", err)
-	}
-	defer f.Close()
-	hdr := make([]byte, headerLen)
-	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
-			return nil
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return nil
-		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			return nil
-		}
-		rec, err := decodePayload(payload)
-		if err != nil {
-			return nil
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
-	}
+	_, err := scanFile(path, fn)
+	return err
 }
 
 // Decode unmarshals a record's JSON payload into v. Records whose payload

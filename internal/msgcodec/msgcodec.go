@@ -46,6 +46,8 @@ const (
 	FrameJournalRec  byte = 0x06 // journal record framing
 	FrameStateRec    byte = 0x07 // journaled state-transition record
 	FrameStoreRec    byte = 0x08 // journaled RTS task-store audit record
+	FrameSnapshot    byte = 0x09 // statedb snapshot (watermark + latest states)
+	FrameSegmentHdr  byte = 0x0A // journal segment header record
 
 	FrameBrokerPublish      byte = 0x10 // durable-queue publish record
 	FrameBrokerAck          byte = 0x11 // durable-queue ack record

@@ -385,6 +385,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(FormatBinary.EncodeFig6Task(&Fig6Task{UID: "t", Executable: "sleep", Arguments: []string{"0"}, Cores: 1}))
 	f.Add(FormatBinary.EncodeStateRec("task", "t.1", "DONE"))
 	f.Add(FormatBinary.EncodeStoreRec("push", []string{"task.1", "task.2"}))
+	f.Add(FormatBinary.EncodeSnapshot(Snapshot{Watermark: 9, Entries: []SnapEntry{
+		{Entity: "task", UID: "t.1", State: "DONE"}}}))
+	f.Add(FormatBinary.EncodeSegmentHeader(SegmentHeader{Index: 2, BaseSeq: 17}))
 	f.Add(AppendJournalRec(nil, 1, "state", []byte("x")))
 	if b, err := FormatBinary.EncodeBrokerPublishBatch("q", []BrokerMsg{{ID: 1, Body: []byte("b")}}); err == nil {
 		f.Add(b)
@@ -409,5 +412,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeBrokerAck(body)             //nolint:errcheck
 		DecodeBrokerPublishBatch(body)    //nolint:errcheck
 		DecodeBrokerAckBatch(body)        //nolint:errcheck
+		DecodeSnapshot(body)              //nolint:errcheck
+		DecodeSegmentHeader(body)         //nolint:errcheck
 	})
 }
