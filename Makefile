@@ -10,13 +10,15 @@ GO ?= go
 # ablation (the RTS dispatch path), the run-control event-stream
 # overhead (events-off must stay the no-subscriber fast path; events-on
 # within ~10% of it), the synchronizer round-trip shapes (batched frames
-# must stay O(1) per stage) and the Fig 6 wire-codec ablation (binary must
-# stay ahead of JSON). Stable, fast, and the numbers this repo's PRs argue
-# about. benchdiff also gates allocs/op at 10%, and on CI the alloc gate
+# must stay O(1) per stage), the Fig 6 wire-codec ablation (binary must
+# stay ahead of JSON) and the daemon multi-run comparison (K concurrent
+# entkd-hosted runs vs K sequential in-process runs — the shared pilot
+# pool must keep amortizing setup). Stable, fast, and the numbers this
+# repo's PRs argue about. benchdiff also gates allocs/op at 10%, and on CI the alloc gate
 # is a hard failure while ns/op stays warn-only (see docs/ci.md).
-BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery)
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery|BenchmarkDaemonMultiRun)
 
-.PHONY: build test bench lint bench-json bench-gate bench-baseline
+.PHONY: build test bench lint bench-json bench-gate bench-baseline check-artifacts daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -52,3 +54,16 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# Fail if any gitignored build artifact (bench.out, *.test, ...) is tracked
+# in the index — they belong to local runs, never to the repository.
+check-artifacts:
+	@tracked=$$(git ls-files -i -c --exclude-standard); \
+	if [ -n "$$tracked" ]; then \
+		echo "gitignored artifacts are tracked:"; echo "$$tracked"; exit 1; \
+	fi
+
+# End-to-end entkd smoke: start the daemon, submit the shipped example app
+# over the unix socket, wait for DONE, shut down and assert no leaked lease.
+daemon-smoke:
+	./scripts/daemon-smoke.sh

@@ -29,6 +29,12 @@
 // in a segmented journal with periodic snapshots (docs/recovery.md). After
 // a crash, -resume with the same -journal directory continues the run
 // without re-executing completed tasks.
+//
+// -daemon <socket> submits the application to a running entkd service
+// instead of executing it in-process: the run shares the daemon's pilot
+// pool with other tenants' runs (-tenant names the submitter for fairness
+// and quota accounting). -progress streams the daemon's event feed; with
+// -journal (any value) the daemon journals the run under its own root.
 package main
 
 import (
@@ -56,6 +62,8 @@ func main() {
 		scheds   = flag.Int("schedulers", 0, "agent scheduler loops draining the task store (0 = min(GOMAXPROCS, shards), 1 = strict-FIFO single scheduler)")
 		jdir     = flag.String("journal", "", "directory for the durable state journal (segments + snapshots + RTS audit); enables crash recovery")
 		resume   = flag.Bool("resume", false, "continue the journaled run found in -journal (completed tasks are not re-executed)")
+		dSock    = flag.String("daemon", "", "submit to the entkd service at this unix socket instead of running in-process")
+		tenant   = flag.String("tenant", "", "tenant name for daemon submissions (fairness weight and quota accounting)")
 	)
 	flag.Parse()
 	if *appPath == "" {
@@ -81,6 +89,10 @@ func main() {
 		}
 		fmt.Printf("%s: valid — %d pipelines / %d tasks on %s (%d cores)\n",
 			*appPath, len(pipes), total, desc.Resource.Name, desc.Resource.Cores)
+		return
+	}
+	if *dSock != "" {
+		runViaDaemon(raw, desc, *dSock, *tenant, *jdir != "", *timeout, *progress, *verbose)
 		return
 	}
 	am, err := entk.NewAppManager(entk.AppConfig{
@@ -183,6 +195,57 @@ func main() {
 	}
 	if runErr != nil {
 		fatal(runErr)
+	}
+}
+
+// runViaDaemon submits the application to a running entkd service and waits
+// for it to finish, optionally streaming the daemon's event feed.
+func runViaDaemon(raw []byte, desc *appjson.App, socket, tenant string, journal bool, timeout time.Duration, progress, verbose bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	client, err := entk.Dial(socket)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := client.Submit(ctx, raw, entk.SubmitOptions{Tenant: tenant, Journal: journal})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted %d pipelines to %s as %s (state %s)\n",
+		len(desc.Pipelines), socket, ref.ID, ref.State)
+	var events <-chan entk.Event
+	var stop func()
+	if progress {
+		kinds := []entk.EventKind{entk.EventStage, entk.EventPipeline}
+		if verbose {
+			kinds = append(kinds, entk.EventTask)
+		}
+		events, stop, err = ref.Events(ctx, kinds...)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		if events == nil {
+			return
+		}
+		for ev := range events {
+			vsec := ev.VTime.Sub(vclock.Epoch).Seconds()
+			fmt.Printf("[%10.1fs] %-8s %-24s %s -> %s\n", vsec, ev.Kind, ev.Name, ev.From, ev.To)
+		}
+	}()
+	waitErr := ref.Wait(ctx)
+	<-streamDone
+	info, err := ref.Info(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("run %s finished: %s\n", ref.ID, info.State)
+	if waitErr != nil {
+		fatal(waitErr)
 	}
 }
 

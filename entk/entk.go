@@ -192,37 +192,31 @@ type Resource struct {
 type AppConfig struct {
 	// Resource is the CI request. Required.
 	Resource Resource
+	// Tuning consolidates the per-run performance knobs (batching,
+	// sharding, scheduler concurrency, wire format, snapshot cadence); the
+	// zero value selects every documented default. The deprecated aliases
+	// below override the corresponding Tuning field when set, so existing
+	// callers keep their behavior.
+	Tuning
 	// TimeScale is the wall cost of one virtual second (default 1 ms).
 	TimeScale time.Duration
 	// TaskRetries is the automatic resubmission budget per failed task.
 	TaskRetries int
-	// BatchSize tunes the broker's batched hot path through the workflow
-	// layers: it bounds how many tasks ride in one pending-queue message
-	// when Enqueue batch-publishes a stage, and how many messages the Emgr
-	// pops per broker round-trip. Default 1024. Lower values trade broker
-	// amortization for finer-grained submission (e.g. to interleave
-	// pipelines on a small pilot); 1 effectively restores the per-message
-	// path.
+	// BatchSize is the broker batching knob.
+	//
+	// Deprecated: set Tuning.BatchSize.
 	BatchSize int
-	// QueueShards is the number of independently locked ready rings behind
-	// each task-traffic broker queue and the RTS task store — the
-	// multi-consumer scaling knob. 0 selects the broker default,
-	// min(GOMAXPROCS, 8); 1 restores the single-lock queues.
+	// QueueShards is the broker/store sharding knob.
+	//
+	// Deprecated: set Tuning.QueueShards.
 	QueueShards int
-	// SchedulerWorkers is the RTS agent's scheduler concurrency: how many
-	// scheduler loops drain the sharded task store, each owning a preferred
-	// shard and work-stealing from the next non-empty one. 0 selects the
-	// RTS default, min(GOMAXPROCS, store shards); 1 restores the
-	// single-scheduler agent and with it strict push-order FIFO dispatch.
-	// See docs/api.md for the ordering contract at SchedulerWorkers > 1.
+	// SchedulerWorkers is the RTS scheduler-concurrency knob.
+	//
+	// Deprecated: set Tuning.SchedulerWorkers.
 	SchedulerWorkers int
-	// WireFormat selects the control-plane wire codec: "binary" (default)
-	// frames every steady-state control message — pending-queue task
-	// batches, synchronizer frames and acks, done-queue result batches,
-	// journal records — in the pooled binary format; "json" keeps them
-	// human-readable for debugging and inspection. Decoding accepts both,
-	// so journals written under either setting replay under the other.
-	// See docs/wire-format.md.
+	// WireFormat selects the control-plane wire codec.
+	//
+	// Deprecated: set Tuning.WireFormat.
 	WireFormat string
 	// RTSRestarts bounds RTS restarts after runtime-system failures.
 	RTSRestarts int
@@ -236,9 +230,9 @@ type AppConfig struct {
 	// directory — completed tasks are not re-executed. Mutually exclusive
 	// with JournalPath.
 	JournalDir string
-	// SnapshotEvery is the durable mode's snapshot cadence in committed
-	// state records (default 1024); negative disables snapshots (journal
-	// only, no compaction). Ignored without JournalDir.
+	// SnapshotEvery is the durable mode's snapshot cadence.
+	//
+	// Deprecated: set Tuning.SnapshotEvery.
 	SnapshotEvery int
 	// SegmentBytes is the durable mode's journal segment rotation threshold
 	// (default journal.DefaultSegmentBytes). Ignored without JournalDir.
@@ -296,6 +290,10 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = time.Millisecond
+	}
+	tun, err := cfg.effectiveTuning()
+	if err != nil {
+		return nil, err
 	}
 	clock := vclock.NewScaled(cfg.TimeScale)
 
@@ -397,15 +395,15 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Host:             host,
 		JournalPath:      cfg.JournalPath,
 		JournalDir:       cfg.JournalDir,
-		SnapshotEvery:    cfg.SnapshotEvery,
+		SnapshotEvery:    tun.SnapshotEvery,
 		SegmentBytes:     cfg.SegmentBytes,
 		StateStore:       cfg.StateStore,
 		TaskRetries:      cfg.TaskRetries,
 		RTSRestarts:      cfg.RTSRestarts,
-		EmgrBatch:        cfg.BatchSize,
-		QueueShards:      cfg.QueueShards,
-		SchedulerWorkers: cfg.SchedulerWorkers,
-		WireFormat:       cfg.WireFormat,
+		EmgrBatch:        tun.BatchSize,
+		QueueShards:      tun.QueueShards,
+		SchedulerWorkers: tun.SchedulerWorkers,
+		WireFormat:       tun.WireFormat,
 	})
 	if err != nil {
 		closeAll()
@@ -427,8 +425,8 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Prof:        am.Profiler(),
 		Compute:     cfg.Compute,
 		Seed:        cfg.Seed,
-		QueueShards: cfg.QueueShards,
-		Schedulers:  cfg.SchedulerWorkers,
+		QueueShards: tun.QueueShards,
+		Schedulers:  tun.SchedulerWorkers,
 	}
 	if cfg.JournalDir != "" {
 		// Durable mode audits RTS submissions next to the state journal, so

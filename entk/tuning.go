@@ -1,0 +1,93 @@
+package entk
+
+import (
+	"fmt"
+
+	"repro/internal/msgcodec"
+)
+
+// CurrentTuningVersion is the Tuning schema this build understands. The
+// version gates forward compatibility for persisted or generated configs: a
+// Tuning carrying a newer version than the binary knows is rejected by
+// Validate instead of being silently half-applied.
+const CurrentTuningVersion = 1
+
+// Tuning consolidates the per-run performance knobs. The zero value is
+// valid and selects every documented default; AppConfig embeds a Tuning, so
+// knobs are set either through it or (deprecated) through the aliases still
+// present on AppConfig — when both are set, the alias wins, preserving the
+// behavior of existing callers.
+type Tuning struct {
+	// Version is the schema version of this struct (0 or
+	// CurrentTuningVersion today). Leave zero unless the value was
+	// persisted by another build.
+	Version int
+	// BatchSize bounds the broker's batched hot path: how many tasks ride
+	// in one pending-queue message and how many messages the Emgr pops per
+	// broker round-trip. Default 1024; 1 restores the per-message path.
+	BatchSize int
+	// QueueShards is the number of independently locked ready rings behind
+	// each task-traffic broker queue and the RTS task store. Default
+	// min(GOMAXPROCS, 8); 1 restores the single-lock queues.
+	QueueShards int
+	// SchedulerWorkers is the RTS agent's scheduler concurrency. Default
+	// min(GOMAXPROCS, store shards); 1 restores strict push-order FIFO
+	// dispatch (see docs/api.md for the ordering contract above 1).
+	SchedulerWorkers int
+	// WireFormat selects the control-plane wire codec: "binary" (default)
+	// or "json". Decoding accepts both regardless (docs/wire-format.md).
+	WireFormat string
+	// SnapshotEvery is the durable mode's snapshot cadence in committed
+	// state records. Default 1024; negative disables snapshots (journal
+	// only, no compaction). Ignored without a journal directory.
+	SnapshotEvery int
+}
+
+// Validate checks the tuning for values no component can honor. It does not
+// mutate: defaults are applied by the components that own each knob.
+func (t Tuning) Validate() error {
+	if t.Version != 0 && t.Version != CurrentTuningVersion {
+		return fmt.Errorf("entk: tuning version %d not supported (this build understands %d)",
+			t.Version, CurrentTuningVersion)
+	}
+	if t.BatchSize < 0 {
+		return fmt.Errorf("entk: tuning BatchSize %d is negative", t.BatchSize)
+	}
+	if t.QueueShards < 0 {
+		return fmt.Errorf("entk: tuning QueueShards %d is negative", t.QueueShards)
+	}
+	if t.SchedulerWorkers < 0 {
+		return fmt.Errorf("entk: tuning SchedulerWorkers %d is negative", t.SchedulerWorkers)
+	}
+	if t.WireFormat != "" {
+		if _, err := msgcodec.ParseFormat(t.WireFormat); err != nil {
+			return fmt.Errorf("entk: tuning %w", err)
+		}
+	}
+	return nil
+}
+
+// effectiveTuning resolves the run's tuning: the embedded Tuning overlaid
+// by any set deprecated AppConfig alias, then validated.
+func (cfg *AppConfig) effectiveTuning() (Tuning, error) {
+	t := cfg.Tuning
+	if cfg.BatchSize != 0 {
+		t.BatchSize = cfg.BatchSize
+	}
+	if cfg.QueueShards != 0 {
+		t.QueueShards = cfg.QueueShards
+	}
+	if cfg.SchedulerWorkers != 0 {
+		t.SchedulerWorkers = cfg.SchedulerWorkers
+	}
+	if cfg.WireFormat != "" {
+		t.WireFormat = cfg.WireFormat
+	}
+	if cfg.SnapshotEvery != 0 {
+		t.SnapshotEvery = cfg.SnapshotEvery
+	}
+	if err := t.Validate(); err != nil {
+		return Tuning{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,80 @@
+package entk
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTuningValidate(t *testing.T) {
+	if err := (Tuning{}).Validate(); err != nil {
+		t.Fatalf("zero tuning must be valid: %v", err)
+	}
+	ok := Tuning{
+		Version:          CurrentTuningVersion,
+		BatchSize:        64,
+		QueueShards:      4,
+		SchedulerWorkers: 2,
+		WireFormat:       "json",
+		SnapshotEvery:    -1, // negative disables snapshots — legal
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid tuning rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tun  Tuning
+		want string
+	}{
+		{"future version", Tuning{Version: CurrentTuningVersion + 1}, "version"},
+		{"negative batch", Tuning{BatchSize: -1}, "BatchSize"},
+		{"negative shards", Tuning{QueueShards: -1}, "QueueShards"},
+		{"negative schedulers", Tuning{SchedulerWorkers: -1}, "SchedulerWorkers"},
+		{"unknown wire format", Tuning{WireFormat: "xml"}, "wire format"},
+	}
+	for _, c := range cases {
+		err := c.tun.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error mentioning %q", c.name, err, c.want)
+		}
+	}
+}
+
+// The deprecated AppConfig aliases override the embedded Tuning, keeping
+// pre-Tuning callers' behavior byte-identical.
+func TestTuningAliasPrecedence(t *testing.T) {
+	cfg := AppConfig{
+		Tuning: Tuning{
+			BatchSize:        10,
+			QueueShards:      2,
+			SchedulerWorkers: 2,
+			WireFormat:       "binary",
+			SnapshotEvery:    100,
+		},
+		// Deprecated aliases, as an old caller would set them.
+		BatchSize:        99,
+		WireFormat:       "json",
+		SchedulerWorkers: 7,
+	}
+	tun, err := cfg.effectiveTuning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.BatchSize != 99 || tun.WireFormat != "json" || tun.SchedulerWorkers != 7 {
+		t.Fatalf("aliases must win: %+v", tun)
+	}
+	if tun.QueueShards != 2 || tun.SnapshotEvery != 100 {
+		t.Fatalf("unset aliases must not clobber Tuning: %+v", tun)
+	}
+}
+
+// An invalid tuning is rejected at AppManager construction, before any
+// infrastructure is built.
+func TestTuningRejectedAtConstruction(t *testing.T) {
+	_, err := NewAppManager(AppConfig{
+		Resource: Resource{Name: "supermic", Cores: 4, Walltime: 3600e9},
+		Tuning:   Tuning{WireFormat: "carrier-pigeon"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "wire format") {
+		t.Fatalf("want wire-format rejection, got %v", err)
+	}
+}

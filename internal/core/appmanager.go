@@ -31,6 +31,18 @@ type Config struct {
 	Clock vclock.Clock
 	// Host models the machine running EnTK. Defaults to the null model.
 	Host *hostmodel.Model
+	// Broker, when non-nil, is a shared messaging layer injected by a
+	// multi-run host (the entkd daemon): the AppManager declares its queues
+	// on it instead of creating a private broker, and tears down only its
+	// own queues — never the broker itself. Use QueuePrefix to namespace
+	// the queues of concurrent runs. When nil the AppManager owns a private
+	// broker, exactly as before.
+	Broker *broker.Broker
+	// QueuePrefix namespaces this run's queues on a shared broker (e.g.
+	// "run.0007." turns "pending" into "run.0007.pending"), so concurrent
+	// runs multiplexed over one broker can never cross-deliver. Empty for
+	// single-run AppManagers.
+	QueuePrefix string
 	// Profiler receives overhead measurements. Created if nil.
 	Profiler *profiler.Profiler
 	// JournalPath, when non-empty, enables transactional state journaling
@@ -152,6 +164,11 @@ type AppManager struct {
 
 	jrn *journal.Journal
 	brk *broker.Broker
+	// ownBroker records whether the AppManager created brk (and must close
+	// it) or received it injected via Config.Broker (shared with sibling
+	// runs; teardown deletes only this run's declared queues).
+	ownBroker bool
+	declared  []string // queues this run declared on the broker
 
 	// Durability state (JournalDir mode). mirror holds the latest committed
 	// state per entity, feeding snapshots; recov summarizes what Resume
@@ -518,15 +535,28 @@ func (am *AppManager) closeJournal() {
 	}
 }
 
-// declareTopology creates the broker and the paper's Fig 2 queue topology.
-// The task-traffic queues (pending, done) take the shard knob: their
-// messages are causally independent per task, so sharded rings are safe and
-// let concurrent producers/consumers scale. The states queue and the
-// sync-ack queues are pinned to one shard — the Synchronizer must apply
-// transition requests in cross-component arrival order (SCHEDULED before
-// DONE for the same stage), which is a strict-FIFO, single-shard guarantee.
+// qname namespaces a queue name with the run's prefix. On a private broker
+// the prefix is empty and names are the bare Fig 2 constants; on a shared
+// broker every run's traffic lives under "run.<id>." so concurrent runs can
+// never cross-deliver.
+func (am *AppManager) qname(base string) string { return am.cfg.QueuePrefix + base }
+
+// declareTopology creates (or adopts) the broker and declares the paper's
+// Fig 2 queue topology under the run's namespace. The task-traffic queues
+// (pending, done) take the shard knob: their messages are causally
+// independent per task, so sharded rings are safe and let concurrent
+// producers/consumers scale. The states queue and the sync-ack queues are
+// pinned to one shard — the Synchronizer must apply transition requests in
+// cross-component arrival order (SCHEDULED before DONE for the same stage),
+// which is a strict-FIFO, single-shard guarantee.
 func (am *AppManager) declareTopology() error {
-	am.brk = broker.New(broker.Options{PerOpDelay: am.msgDelay})
+	if am.cfg.Broker != nil {
+		am.brk = am.cfg.Broker
+		am.ownBroker = false
+	} else {
+		am.brk = broker.New(broker.Options{PerOpDelay: am.msgDelay})
+		am.ownBroker = true
+	}
 	sharded := []string{QueuePending, QueueDone}
 	ordered := []string{
 		QueueStates,
@@ -535,17 +565,44 @@ func (am *AppManager) declareTopology() error {
 	}
 	for _, q := range sharded {
 		opts := broker.QueueOptions{Shards: am.cfg.QueueShards}
-		if err := am.brk.DeclareQueue(q, opts); err != nil {
+		if err := am.declareQueue(am.qname(q), opts); err != nil {
 			return err
 		}
 	}
 	for _, q := range ordered {
-		if err := am.brk.DeclareQueue(q, broker.QueueOptions{Shards: 1}); err != nil {
+		if err := am.declareQueue(am.qname(q), broker.QueueOptions{Shards: 1}); err != nil {
 			return err
 		}
 	}
 	am.spawnCost(len(sharded) + len(ordered)) // messaging infrastructure
 	return nil
+}
+
+// declareQueue declares one queue and records it for namespace teardown.
+func (am *AppManager) declareQueue(name string, opts broker.QueueOptions) error {
+	if err := am.brk.DeclareQueue(name, opts); err != nil {
+		return err
+	}
+	am.declared = append(am.declared, name)
+	return nil
+}
+
+// releaseBroker tears down this run's messaging: a private broker is closed
+// outright; on a shared broker only the run's own queues are deleted, so
+// sibling runs (and the broker) keep going. Reference counting is by queue
+// ownership — a run can only ever delete what it declared.
+func (am *AppManager) releaseBroker() {
+	if am.brk == nil {
+		return
+	}
+	if am.ownBroker {
+		am.brk.Close()
+		return
+	}
+	for _, q := range am.declared {
+		am.brk.DeleteQueue(q) //nolint:errcheck // best effort: daemon shutdown may have closed the broker
+	}
+	am.declared = nil
 }
 
 func (am *AppManager) takeErr() error {
@@ -627,9 +684,7 @@ func (am *AppManager) stopComponents() {
 	if am.sync != nil {
 		am.sync.stop()
 	}
-	if am.brk != nil {
-		am.brk.Close()
-	}
+	am.releaseBroker()
 }
 
 // retriesFor resolves a task's resubmission budget.

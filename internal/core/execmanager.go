@@ -71,7 +71,7 @@ func (e *execManager) start(ctx context.Context) error {
 
 	// Pull-mode consumer: the Emgr pops whole batches of pending messages
 	// per broker round-trip instead of draining a delivery channel.
-	if e.pendC, err = e.am.brk.ConsumeBatch(QueuePending, e.am.cfg.EmgrBatch); err != nil {
+	if e.pendC, err = e.am.brk.ConsumeBatch(e.am.qname(QueuePending), e.am.cfg.EmgrBatch); err != nil {
 		return err
 	}
 
@@ -213,7 +213,7 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 // publish order.
 func (e *execManager) callbackLoop(rts RTS) {
 	defer e.wg.Done()
-	doneP, err := e.am.brk.Producer(QueueDone)
+	doneP, err := e.am.brk.Producer(e.am.qname(QueueDone))
 	if err != nil {
 		return // broker closed: tearing down
 	}
@@ -333,7 +333,7 @@ func (e *execManager) failover(ctx context.Context, failed RTS) error {
 		if err := e.hbSync.flush(); err != nil {
 			return err
 		}
-		if err := e.am.brk.Publish(QueuePending, e.am.wire().EncodeTaskUID(uid)); err != nil {
+		if err := e.am.brk.Publish(e.am.qname(QueuePending), e.am.wire().EncodeTaskUID(uid)); err != nil {
 			return err
 		}
 	}

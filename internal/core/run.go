@@ -311,7 +311,7 @@ func (r *Run) supervise(runCtx context.Context) {
 	}
 	am.sync.stop()
 	am.teardownCost(9)
-	am.brk.Close()
+	am.releaseBroker()
 
 	// RTS tear-down is measured by the RTS itself (black box).
 	am.emgr.stopRTS()

@@ -51,7 +51,7 @@ func newSynchronizer(am *AppManager) *synchronizer {
 }
 
 func (s *synchronizer) start() error {
-	c, err := s.am.brk.Consume(QueueStates, 64)
+	c, err := s.am.brk.Consume(s.am.qname(QueueStates), 64)
 	if err != nil {
 		return err
 	}
@@ -296,11 +296,14 @@ type syncClient struct {
 }
 
 func newSyncClient(am *AppManager, replyQueue string) (*syncClient, error) {
-	c, err := am.brk.Consume(replyQueue, 1)
+	// The reply queue name travels inside the frame, so it is stored (and
+	// consumed) fully namespaced; callers pass the bare Fig 2 name.
+	reply := am.qname(replyQueue)
+	c, err := am.brk.Consume(reply, 1)
 	if err != nil {
 		return nil, err
 	}
-	return &syncClient{am: am, reply: replyQueue, cons: c}, nil
+	return &syncClient{am: am, reply: reply, cons: c}, nil
 }
 
 func (c *syncClient) close() {
@@ -355,7 +358,7 @@ func (c *syncClient) flush() error {
 	if err != nil {
 		return fmt.Errorf("core: encode sync frame: %w", err)
 	}
-	if err := c.am.brk.Publish(QueueStates, body); err != nil {
+	if err := c.am.brk.Publish(c.am.qname(QueueStates), body); err != nil {
 		return err
 	}
 	d, ok := <-c.cons.Deliveries()

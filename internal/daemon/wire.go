@@ -1,0 +1,44 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The socket transport frames each control-plane message (a msgcodec daemon
+// frame of either wire format) with a uvarint length prefix. The framing is
+// format-agnostic: the payload's own magic byte (or its absence) selects the
+// binary or JSON decode path exactly as on the broker queues.
+
+// maxSocketFrame bounds one socket frame; a hostile or corrupt length prefix
+// fails fast instead of driving an over-allocation.
+const maxSocketFrame = 64 << 20
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSocketFrame {
+		return nil, fmt.Errorf("daemon: frame of %d bytes exceeds the %d-byte limit", n, maxSocketFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

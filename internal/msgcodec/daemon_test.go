@@ -1,0 +1,74 @@
+package msgcodec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDaemonSubmitRoundTrip(t *testing.T) {
+	in := DaemonSubmit{Tenant: "alice", Journal: true, AppJSON: []byte(`{"pipelines":[]}`)}
+	for _, f := range []Format{FormatBinary, FormatJSON} {
+		body, err := f.EncodeDaemonSubmit(in)
+		if err != nil {
+			t.Fatalf("%v encode: %v", f, err)
+		}
+		out, err := DecodeDaemonSubmit(body)
+		if err != nil {
+			t.Fatalf("%v decode: %v", f, err)
+		}
+		if out.Tenant != in.Tenant || out.Journal != in.Journal || string(out.AppJSON) != string(in.AppJSON) {
+			t.Fatalf("%v round trip: %+v != %+v", f, out, in)
+		}
+	}
+}
+
+func TestRunOpRoundTrip(t *testing.T) {
+	cases := []RunOp{
+		{Op: "submit-ack", RunID: "run.0001", OK: true},
+		{Op: "event", RunID: "run.0002", OK: true,
+			Strs: []string{"task", "task.000.000.00001", "t1", "p1", "s1", "SCHEDULED", "DONE"},
+			Ints: []int64{123456789, 2}},
+		{Op: "list", Err: "boom", Data: []byte{0x00, 0xff}},
+		{Op: "end"},
+	}
+	for _, f := range []Format{FormatBinary, FormatJSON} {
+		for _, in := range cases {
+			body, err := f.EncodeRunOp(in)
+			if err != nil {
+				t.Fatalf("%v encode: %v", f, err)
+			}
+			out, err := DecodeRunOp(body)
+			if err != nil {
+				t.Fatalf("%v decode %q: %v", f, in.Op, err)
+			}
+			// Normalize nil-vs-empty Data for the JSON path.
+			if len(out.Data) == 0 {
+				out.Data = nil
+			}
+			want := in
+			if len(want.Data) == 0 {
+				want.Data = nil
+			}
+			if !reflect.DeepEqual(out, want) {
+				t.Fatalf("%v round trip %q: %+v != %+v", f, in.Op, out, want)
+			}
+		}
+	}
+}
+
+func TestDaemonFramesRejectCrossType(t *testing.T) {
+	body, err := FormatBinary.EncodeDaemonSubmit(DaemonSubmit{AppJSON: []byte("{}")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRunOp(body); err == nil {
+		t.Fatal("RunOp decoder accepted a submit frame")
+	}
+	body, err = FormatBinary.EncodeRunOp(RunOp{Op: "list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDaemonSubmit(body); err == nil {
+		t.Fatal("submit decoder accepted a run-op frame")
+	}
+}

@@ -53,6 +53,9 @@ const (
 	FrameBrokerAck          byte = 0x11 // durable-queue ack record
 	FrameBrokerPublishBatch byte = 0x12 // durable-queue batched publish record
 	FrameBrokerAckBatch     byte = 0x13 // durable-queue batched ack record
+
+	FrameDaemonSubmit byte = 0x20 // entkd submission request
+	FrameDaemonRunOp  byte = 0x21 // entkd run operation (request and response)
 )
 
 // Format selects the encoding of control-plane messages. The zero value is
