@@ -13,12 +13,14 @@ GO ?= go
 # must stay O(1) per stage), the Fig 6 wire-codec ablation (binary must
 # stay ahead of JSON) and the daemon multi-run comparison (K concurrent
 # entkd-hosted runs vs K sequential in-process runs — the shared pilot
-# pool must keep amortizing setup). Stable, fast, and the numbers this
+# pool must keep amortizing setup) and the remote round-trip ablation
+# (the networked control plane's batched-frame tax over unix/TCP against
+# the in-process path). Stable, fast, and the numbers this
 # repo's PRs argue about. benchdiff also gates allocs/op at 10%, and on CI the alloc gate
 # is a hard failure while ns/op stays warn-only (see docs/ci.md).
-BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery|BenchmarkDaemonMultiRun)
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery|BenchmarkDaemonMultiRun|BenchmarkRemoteRoundTrip)
 
-.PHONY: build test bench lint bench-json bench-gate bench-baseline check-artifacts daemon-smoke
+.PHONY: build test bench lint bench-json bench-gate bench-baseline check-artifacts daemon-smoke remote-smoke
 
 build:
 	$(GO) build ./...
@@ -67,3 +69,9 @@ check-artifacts:
 # over the unix socket, wait for DONE, shut down and assert no leaked lease.
 daemon-smoke:
 	./scripts/daemon-smoke.sh
+
+# End-to-end networked-control-plane smoke: start two entk-agent processes
+# on localhost TCP, drive the example app through both from one manager,
+# assert every task DONE with zero stranded frames.
+remote-smoke:
+	./scripts/remote-smoke.sh

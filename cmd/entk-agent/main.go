@@ -1,0 +1,151 @@
+// Command entk-agent hosts a pilot runtime system behind a network
+// listener, the compute-node half of the networked control plane
+// (docs/remote.md). A manager started with entk-run -agents (or an
+// entk.AppConfig with RemoteAgents) connects, hands the agent task batches
+// over internal/transport frames, and receives results and periodic
+// capacity reports back.
+//
+//	entk-agent -listen tcp:127.0.0.1:0 [-resource titan] [-cores 64] [-scale 1ms]
+//
+// The agent prints "entk-agent: listening on <addr>" once ready — with an
+// ephemeral port, parse that line to learn the bound address. One manager
+// is served at a time: a new connection purges the running RTS instance
+// (discarding its in-flight tasks) and builds a fresh one, so a failed-over
+// manager can reconnect without risking double execution. -audit journals
+// every RTS incarnation's store to <dir>/rts-audit-NNN.log for post-run
+// exactly-once verification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/hpc"
+	"repro/internal/remoterts"
+	"repro/internal/rts"
+	"repro/internal/saga"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "tcp:127.0.0.1:0", "listen address (tcp:host:port or unix:/path; port 0 picks an ephemeral port)")
+		name      = flag.String("name", "", "agent name reported in handshakes (default: the listen address)")
+		resource  = flag.String("resource", "titan", "CI whose batch system and cost model this agent simulates")
+		cores     = flag.Int("cores", 64, "pilot size in cores")
+		gpus      = flag.Int("gpus", 0, "pilot GPU count (0 = CI default per node)")
+		walltime  = flag.Duration("walltime", 2*time.Hour, "pilot walltime (virtual)")
+		scale     = flag.Duration("scale", time.Millisecond, "wall time per virtual second")
+		scheds    = flag.Int("schedulers", 0, "agent scheduler loops (0 = auto, 1 = strict FIFO)")
+		audit     = flag.String("audit", "", "directory for per-incarnation RTS audit logs (exactly-once verification)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "stats/keepalive interval (wall clock)")
+		seed      = flag.Int64("seed", 0, "seed for the agent's stochastic models")
+		compute   = flag.Bool("compute", false, "execute real workload kernels instead of modelled durations")
+	)
+	flag.Parse()
+
+	clock := vclock.NewScaled(*scale)
+	spec, err := hpc.LookupSpec(*resource)
+	if err != nil {
+		fatal(err)
+	}
+	// Same GPU defaulting as the in-process stack: a pilot brings the CI's
+	// per-node GPU inventory for every allocated node.
+	if *gpus == 0 && spec.GPUsPerNode > 0 {
+		nodes := (*cores + spec.CoresPerNode - 1) / spec.CoresPerNode
+		*gpus = nodes * spec.GPUsPerNode
+	}
+	cluster, err := hpc.NewCluster(spec, clock)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+	session := saga.NewSession()
+	if err := session.Register(saga.NewClusterAdapter(cluster)); err != nil {
+		fatal(err)
+	}
+	transfers, err := saga.NewTransferService(clock)
+	if err != nil {
+		fatal(err)
+	}
+	session.SetTransferService(transfers)
+
+	fsSpec := fsim.XSEDEShared()
+	if *resource == "titan" {
+		fsSpec = fsim.OLCFLustre()
+	}
+	fs, err := fsim.New(fsSpec, clock, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := rts.Config{
+		Clock:      clock,
+		Session:    session,
+		Registry:   workload.NewRegistry(),
+		FS:         fs,
+		Compute:    *compute,
+		Seed:       *seed,
+		Schedulers: *scheds,
+	}
+	// Each manager connection builds a fresh RTS incarnation; with -audit,
+	// each incarnation journals its store separately so the disjointness of
+	// their push sets can be checked after the run.
+	var incarnation atomic.Int64
+	factory := func(res core.ResourceDesc) (core.RTS, error) {
+		cfg := base
+		cfg.Resource = res
+		if *audit != "" {
+			n := incarnation.Add(1)
+			cfg.StorePath = filepath.Join(*audit, fmt.Sprintf("rts-audit-%03d.log", n))
+		}
+		return rts.New(cfg)
+	}
+
+	agentName := *name
+	if agentName == "" {
+		agentName = *listen
+	}
+	agent, err := remoterts.NewAgent(remoterts.AgentConfig{
+		Addr:    *listen,
+		Name:    agentName,
+		Factory: factory,
+		Resource: core.ResourceDesc{
+			Resource: *resource,
+			Cores:    *cores,
+			GPUs:     *gpus,
+			Walltime: *walltime,
+		},
+		HeartbeatInterval: *heartbeat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entk-agent: listening on %s (%s, %d cores, %d gpus)\n",
+		agent.Addr(), *resource, *cores, *gpus)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("entk-agent: shutting down")
+		agent.Close()
+	}()
+	agent.Wait()
+	fmt.Printf("entk-agent: served %d task results over %d RTS incarnations\n",
+		agent.Served(), agent.Incarnations())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "entk-agent: %v\n", err)
+	os.Exit(1)
+}

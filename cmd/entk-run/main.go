@@ -30,6 +30,14 @@
 // a crash, -resume with the same -journal directory continues the run
 // without re-executing completed tasks.
 //
+// -agents <addr,addr> executes on remote entk-agent processes instead of an
+// in-process runtime system: task batches are shipped over the wire, and
+// the post-run summary reports how many tasks finished and whether any
+// frames were stranded in flight. -events-listen <addr> serves this run's
+// event stream to remote subscribers; a second entk-run invoked with
+// -attach <addr> (no -app needed) renders that stream live, ending with the
+// server-side drop count for its subscription.
+//
 // -daemon <socket> submits the application to a running entkd service
 // instead of executing it in-process: the run shares the daemon's pilot
 // pool with other tenants' runs (-tenant names the submitter for fairness
@@ -42,10 +50,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/entk"
 	"repro/internal/appjson"
+	"repro/internal/remoterts"
 	"repro/internal/vclock"
 )
 
@@ -64,8 +74,15 @@ func main() {
 		resume   = flag.Bool("resume", false, "continue the journaled run found in -journal (completed tasks are not re-executed)")
 		dSock    = flag.String("daemon", "", "submit to the entkd service at this unix socket instead of running in-process")
 		tenant   = flag.String("tenant", "", "tenant name for daemon submissions (fairness weight and quota accounting)")
+		agents   = flag.String("agents", "", "comma-separated entk-agent addresses; run on remote agents instead of an in-process RTS")
+		evListen = flag.String("events-listen", "", "serve this run's event stream to remote subscribers on this address")
+		attach   = flag.String("attach", "", "attach to a remote run's event stream at this address and render it (no -app needed)")
 	)
 	flag.Parse()
+	if *attach != "" {
+		attachRemote(*attach, *verbose, *timeout)
+		return
+	}
 	if *appPath == "" {
 		fmt.Fprintln(os.Stderr, "entk-run: -app is required (see -h)")
 		os.Exit(2)
@@ -110,6 +127,7 @@ func main() {
 		WireFormat:       *wire,
 		SchedulerWorkers: *scheds,
 		JournalDir:       *jdir,
+		RemoteAgents:     splitAddrs(*agents),
 	})
 	if err != nil {
 		fatal(err)
@@ -134,6 +152,17 @@ func main() {
 			kinds = append(kinds, entk.EventTask)
 		}
 		sub = am.Subscribe(entk.EventFilter{Kinds: kinds})
+	}
+
+	var events *remoterts.EventServer
+	if *evListen != "" {
+		events, err = remoterts.NewEventServer(*evListen, am.Subscribe)
+		if err != nil {
+			fatal(err)
+		}
+		defer events.Close()
+		am.AddEventPeerSource(events.PeerStats)
+		fmt.Printf("event stream served on %s\n", events.Addr())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -171,6 +200,21 @@ func main() {
 	}
 	wall := time.Since(start)
 
+	finalSnap := am.Snapshot()
+	if *agents != "" {
+		// The smoke harness greps this line: a non-zero stranded count
+		// means results were lost between an agent and the manager.
+		fmt.Printf("remote run: %d/%d tasks done, stranded frames: %d\n",
+			finalSnap.TasksDone, finalSnap.TasksTotal, finalSnap.Utilization.TasksInFlight)
+	}
+	for _, peer := range finalSnap.EventPeers {
+		state := "attached"
+		if !peer.Connected {
+			state = "detached"
+		}
+		fmt.Printf("event peer %s: %d sent, %d dropped (%s)\n", peer.Peer, peer.Sent, peer.Dropped, state)
+	}
+
 	rep := am.Report()
 	fmt.Printf("\nrun finished in %v wall time\n", wall.Round(time.Millisecond))
 	fmt.Printf("  entk setup:      %8.2f s\n", rep.EnTKSetup)
@@ -195,6 +239,54 @@ func main() {
 	}
 	if runErr != nil {
 		fatal(runErr)
+	}
+}
+
+// splitAddrs parses the -agents list.
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// attachRemote subscribes to a remote run's event stream and renders it in
+// the same format as -progress, ending with the server-side drop count.
+func attachRemote(addr string, verbose bool, timeout time.Duration) {
+	kinds := []entk.EventKind{entk.EventStage, entk.EventPipeline}
+	if verbose {
+		kinds = append(kinds, entk.EventTask)
+	}
+	es, err := remoterts.AttachEvents(addr, entk.EventFilter{Kinds: kinds}, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer es.Close()
+	fmt.Printf("attached to %s\n", addr)
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-es.C():
+			if !ok {
+				if es.Ended() {
+					fmt.Printf("event stream ended: %d dropped server-side (slow-subscriber policy)\n", es.Dropped())
+				} else {
+					fmt.Println("event stream ended: connection lost")
+				}
+				return
+			}
+			vsec := ev.VTime.Sub(vclock.Epoch).Seconds()
+			fmt.Printf("[%10.1fs] %-8s %-24s %s -> %s\n", vsec, ev.Kind, ev.Name, ev.From, ev.To)
+		case <-deadline:
+			fmt.Fprintln(os.Stderr, "entk-run: -attach timed out")
+			return
+		}
 	}
 }
 

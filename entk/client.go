@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/msgcodec"
+	"repro/internal/transport"
 )
 
 // ErrAdmissionRejected is returned by Client.Submit when the daemon cannot
@@ -72,10 +73,10 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) (msgcodec.RunOp, err
 			}
 		}()
 	}
-	if err := daemon.WriteFrame(conn, req); err != nil {
+	if err := transport.WriteFrame(conn, req); err != nil {
 		return msgcodec.RunOp{}, err
 	}
-	body, err := daemon.ReadFrame(bufio.NewReader(conn))
+	body, err := transport.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		if ctx.Err() != nil {
 			return msgcodec.RunOp{}, ctx.Err()
@@ -165,14 +166,14 @@ func (c *Client) Events(ctx context.Context, runID string, kinds ...EventKind) (
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := daemon.WriteFrame(conn, req); err != nil {
+	if err := transport.WriteFrame(conn, req); err != nil {
 		conn.Close() //nolint:errcheck // dial-and-fail path
 		return nil, nil, err
 	}
 	r := bufio.NewReader(conn)
 	// The first frame is either the first event, "end", or an error ack —
 	// read it synchronously so subscription errors surface here.
-	first, err := daemon.ReadFrame(r)
+	first, err := transport.ReadFrame(r)
 	if err != nil {
 		conn.Close() //nolint:errcheck // dial-and-fail path
 		return nil, nil, err
@@ -209,7 +210,7 @@ func (c *Client) Events(ctx context.Context, runID string, kinds ...EventKind) (
 					return
 				}
 			}
-			body, err := daemon.ReadFrame(r)
+			body, err := transport.ReadFrame(r)
 			if err != nil {
 				return
 			}

@@ -60,6 +60,7 @@ import (
 	"repro/internal/hostmodel"
 	"repro/internal/hpc"
 	"repro/internal/profiler"
+	"repro/internal/remoterts"
 	"repro/internal/rts"
 	"repro/internal/saga"
 	"repro/internal/statedb"
@@ -110,6 +111,10 @@ type (
 	// StoreStats reports the RTS task store's shard/scheduler counters
 	// inside a Progress snapshot.
 	StoreStats = core.StoreStats
+	// EventPeerStats describes one remote event subscriber (per-peer
+	// Sent/Dropped accounting; see Progress.EventPeers and the entk-run
+	// -events-listen flag).
+	EventPeerStats = core.EventPeerStats
 	// CancelError is the error a run finishes with after Run.Cancel.
 	CancelError = core.CancelError
 	// DurabilityStats reports the crash-recovery subsystem inside a
@@ -265,6 +270,15 @@ type AppConfig struct {
 	// serves the seismic use case's need to interleave leadership-scale
 	// simulation with cluster-scale analysis (§III-A).
 	ExtraResources []Resource
+	// RemoteAgents, when non-empty, replaces the in-process runtime system
+	// with a networked one: tasks are shipped over internal/transport
+	// frames to entk-agent processes listening on these addresses
+	// ("tcp:host:port", "unix:/path"). Each agent hosts its own pilot RTS
+	// and simulated CI; the manager-side proxy stripes batches across the
+	// connected agents and folds their results and utilization reports
+	// back into the run (docs/remote.md). Mutually exclusive with
+	// ExtraResources.
+	RemoteAgents []string
 }
 
 // AppManager drives one ensemble application: it owns the simulated CI, the
@@ -290,6 +304,9 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = time.Millisecond
+	}
+	if len(cfg.RemoteAgents) > 0 && len(cfg.ExtraResources) > 0 {
+		return nil, errors.New("entk: RemoteAgents and ExtraResources are mutually exclusive")
 	}
 	tun, err := cfg.effectiveTuning()
 	if err != nil {
@@ -434,9 +451,15 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		// (docs/recovery.md, exactly-once verification).
 		baseRTS.StorePath = filepath.Join(cfg.JournalDir, "rts-audit.log")
 	}
-	if len(cfg.ExtraResources) == 0 {
+	switch {
+	case len(cfg.RemoteAgents) > 0:
+		// Networked control plane: the runtime system lives in entk-agent
+		// processes; the factory builds a fresh proxy per (re)start so the
+		// heartbeat failover path re-dials the fleet.
+		am.SetRTSFactory(remoterts.Factory(remoterts.Config{Addrs: cfg.RemoteAgents}))
+	case len(cfg.ExtraResources) == 0:
 		am.SetRTSFactory(rts.Factory(baseRTS))
-	} else {
+	default:
 		// Heterogeneous execution: one pilot per resource behind a routing
 		// RTS, all replaceable as one black box on failure.
 		resources := append([]Resource{cfg.Resource}, cfg.ExtraResources...)
@@ -579,6 +602,11 @@ func (r *Run) CancelPipeline(pipelineUID string) error {
 // Subscriptions taken before Start are guaranteed to observe the run's very
 // first transition.
 func (a *AppManager) Subscribe(f EventFilter) *EventSub { return a.inner.Subscribe(f) }
+
+// AddEventPeerSource registers a provider of remote event-subscriber stats
+// (typically an event server's PeerStats); Snapshot folds the reported
+// peers into Progress.EventPeers.
+func (a *AppManager) AddEventPeerSource(f func() []EventPeerStats) { a.inner.AddEventPeerSource(f) }
 
 // Snapshot returns a Progress view of the application (valid before,
 // during and after execution).

@@ -199,6 +199,11 @@ type AppManager struct {
 	events *eventBus
 	ctl    *syncClient
 	ctlMu  sync.Mutex
+
+	// eventPeerSrcs report remote event subscribers (the networked event
+	// fan-out) into Progress.EventPeers; see AddEventPeerSource.
+	eventPeerMu   sync.Mutex
+	eventPeerSrcs []func() []EventPeerStats
 }
 
 // NewAppManager builds an AppManager from config.

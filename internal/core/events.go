@@ -294,6 +294,25 @@ func (b *eventBus) closeAll() {
 	}
 }
 
+// EventBus is a standalone fan-out hub with the same subscriber contract
+// as an AppManager's event stream — bounded drop-oldest rings, non-blocking
+// publish. It exists for components that relay events without owning a run
+// (e.g. the remote event server's tests and tools).
+type EventBus struct{ bus *eventBus }
+
+// NewEventBus returns an empty standalone bus.
+func NewEventBus() *EventBus { return &EventBus{bus: newEventBus()} }
+
+// Subscribe attaches a subscriber; same semantics as AppManager.Subscribe.
+func (b *EventBus) Subscribe(f EventFilter) *EventSub { return b.bus.subscribe(f) }
+
+// Publish fans one event out to matching subscribers without blocking.
+func (b *EventBus) Publish(ev Event) { b.bus.publish(ev) }
+
+// Close ends every subscription gracefully: buffered events still drain,
+// then each subscriber's channel closes.
+func (b *EventBus) Close() { b.bus.closeAll() }
+
 // Utilization is a point-in-time view of the pilot resources backing the
 // run, as reported by the runtime system.
 type Utilization struct {
@@ -312,6 +331,45 @@ type Utilization struct {
 // implements it; Snapshot degrades to zeros otherwise.
 type UtilizationReporter interface {
 	Utilization() Utilization
+}
+
+// EventPeerStats describes one remote event subscriber: a peer attached
+// over the networked event fan-out. Each peer owns a bounded drop-oldest
+// ring with the same contract as an in-process EventSub, so Sent counts the
+// events that reached the peer's send queue and Dropped the ones its ring
+// discarded because the peer fell behind. Disconnected peers are retained
+// (Connected false) so a snapshot taken after the run still accounts for
+// every subscriber the run served.
+type EventPeerStats struct {
+	// Peer is the subscriber's remote address.
+	Peer string
+	// Sent counts events handed to the peer's connection.
+	Sent uint64
+	// Dropped counts events discarded by the peer's drop-oldest ring.
+	Dropped uint64
+	// Connected reports whether the peer is still attached.
+	Connected bool
+}
+
+// AddEventPeerSource registers a callback that reports remote event
+// subscribers into Progress.EventPeers — the hook the remote event server
+// uses to surface its per-peer drop accounting through Snapshot.
+func (am *AppManager) AddEventPeerSource(f func() []EventPeerStats) {
+	am.eventPeerMu.Lock()
+	am.eventPeerSrcs = append(am.eventPeerSrcs, f)
+	am.eventPeerMu.Unlock()
+}
+
+// eventPeers collects every registered source's current peer stats.
+func (am *AppManager) eventPeers() []EventPeerStats {
+	am.eventPeerMu.Lock()
+	srcs := am.eventPeerSrcs
+	am.eventPeerMu.Unlock()
+	var out []EventPeerStats
+	for _, f := range srcs {
+		out = append(out, f()...)
+	}
+	return out
 }
 
 // PipelineProgress is one pipeline's slice of a Progress snapshot.
@@ -357,6 +415,10 @@ type Progress struct {
 	// it (core.StoreStatsReporter). Before the RTS starts, Schedulers falls
 	// back to the configured Config.SchedulerWorkers knob.
 	Store StoreStats
+	// EventPeers reports remote event subscribers — per-peer sent and
+	// drop-oldest counters from the networked event fan-out. Empty unless
+	// a remote event server is attached (AddEventPeerSource).
+	EventPeers []EventPeerStats
 	// PerPipeline details each registered pipeline.
 	PerPipeline []PipelineProgress
 	// Durability reports the crash-recovery subsystem — what this run
@@ -421,6 +483,7 @@ func (am *AppManager) Snapshot() Progress {
 		// knob so dashboards render a stable scheduler count.
 		p.Store.Schedulers = am.cfg.SchedulerWorkers
 	}
+	p.EventPeers = am.eventPeers()
 	p.Durability = am.durabilityStats()
 	return p
 }

@@ -190,8 +190,17 @@ func (e *execManager) submitBatch(batch []*broker.Delivery) error {
 	e.inflightMu.Unlock()
 	rts := e.currentRTS()
 	if rts == nil {
-		broker.NackBatch(live, true) //nolint:errcheck
-		return fmt.Errorf("core: no RTS available")
+		// Mid-failover: the dead RTS is purged and its replacement is
+		// still starting (a remote RTS may spend seconds dialing its
+		// agents). The batch is not lost work — requeue it and drop the
+		// inflight marks so a later failover cannot re-inject tasks that
+		// were never actually submitted.
+		e.inflightMu.Lock()
+		for _, t := range tasks {
+			delete(e.inflight, t.UID)
+		}
+		e.inflightMu.Unlock()
+		return broker.NackBatch(live, true)
 	}
 	if err := rts.Submit(descs); err != nil {
 		// The RTS refused the batch; requeue and let the heartbeat decide

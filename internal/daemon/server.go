@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/msgcodec"
+	"repro/internal/transport"
 )
 
 // Server accepts entk.Client connections on a unix socket and drives the
@@ -19,6 +20,9 @@ import (
 // frame (FrameDaemonSubmit or FrameDaemonRunOp), the server answers with
 // run-op frames — exactly one for unary operations, a stream of "event"
 // frames terminated by "end" for subscriptions — and the connection closes.
+// Frames ride internal/transport's uvarint length-prefixed framing; the
+// payload's own magic byte (or its absence) selects the binary or JSON
+// decode path exactly as on the broker queues.
 type Server struct {
 	d   *Daemon
 	l   net.Listener
@@ -118,7 +122,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	body, err := ReadFrame(bufio.NewReader(conn))
+	body, err := transport.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		return // client vanished before sending a request
 	}
@@ -152,7 +156,7 @@ func (s *Server) reply(conn net.Conn, op msgcodec.RunOp) bool {
 	if err != nil {
 		return false
 	}
-	return WriteFrame(conn, body) == nil
+	return transport.WriteFrame(conn, body) == nil
 }
 
 func (s *Server) handleSubmit(conn net.Conn, body []byte) {

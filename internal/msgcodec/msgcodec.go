@@ -56,7 +56,30 @@ const (
 
 	FrameDaemonSubmit byte = 0x20 // entkd submission request
 	FrameDaemonRunOp  byte = 0x21 // entkd run operation (request and response)
+
+	// Remote control-plane frames (the transport links between a manager,
+	// its entk-agent processes and remote event subscribers). These frames
+	// are binary-only: they never land in journals or durable queues, so
+	// they carry no JSON fallback (docs/wire-format.md, "Remote frames").
+	FramePing       byte = 0x30 // transport keepalive probe
+	FramePong       byte = 0x31 // transport keepalive reply
+	FrameHello      byte = 0x32 // connection handshake (role, name, capacity)
+	FrameTaskBatch  byte = 0x33 // manager -> agent task-description batch
+	FrameAgentStats byte = 0x34 // agent -> manager liveness + utilization report
+	FrameAttach     byte = 0x35 // event-subscriber handshake (filter)
+	FrameEventBatch byte = 0x36 // event server -> subscriber event batch
+	FrameEventEnd   byte = 0x37 // event stream end (final drop count)
 )
+
+// FrameType returns the frame-type byte of a binary frame body, or false for
+// JSON bodies and fragments too short to carry a header. Connection loops use
+// it to route an incoming frame to its decoder.
+func FrameType(body []byte) (byte, bool) {
+	if len(body) < 3 || body[0] != Magic {
+		return 0, false
+	}
+	return body[2], true
+}
 
 // Format selects the encoding of control-plane messages. The zero value is
 // the binary format.

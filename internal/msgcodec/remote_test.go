@@ -1,0 +1,154 @@
+package msgcodec
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestPingPongRoundTrip(t *testing.T) {
+	seq, err := DecodePing(EncodePing(42))
+	if err != nil || seq != 42 {
+		t.Fatalf("ping: %d, %v", seq, err)
+	}
+	seq, err = DecodePong(EncodePong(43))
+	if err != nil || seq != 43 {
+		t.Fatalf("pong: %d, %v", seq, err)
+	}
+	if _, err := DecodePing(EncodePong(1)); err == nil {
+		t.Fatal("pong accepted as ping")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Proto: RemoteProto, Role: "agent", Name: "agent-1", Cores: 64, GPUs: 4}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestTaskBatchRoundTrip(t *testing.T) {
+	tasks := []RemoteTask{
+		{
+			UID:         "task.000001",
+			Name:        "replica",
+			Executable:  "mdrun",
+			Arguments:   []string{"-deffnm", "md"},
+			Environment: map[string]string{"OMP_NUM_THREADS": "4"},
+			Cores:       4,
+			GPUs:        1,
+			Duration:    600 * time.Second,
+			IOLoad:      0.25,
+			PreExec:     2,
+			PostExec:    1,
+			Input: []RemoteStaging{
+				{Source: "in.gro", Target: "md.gro", Action: "Link", Bytes: 1 << 20},
+			},
+			Output: []RemoteStaging{
+				{Source: "md.xtc", Target: "remote://archive/md.xtc", Action: "Transfer", Bytes: 1 << 28, Protocol: "globus"},
+			},
+			Attempt: 3,
+			Tags:    map[string]string{"resource": "titan"},
+		},
+		{UID: "task.000002", Executable: "sleep", Duration: time.Second, Cores: 1},
+	}
+	got, err := DecodeTaskBatch(EncodeTaskBatch(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tasks) {
+		t.Fatalf("got %+v\nwant %+v", got, tasks)
+	}
+}
+
+func TestAgentStatsRoundTrip(t *testing.T) {
+	s := AgentStats{
+		Alive: true, CoresTotal: 64, CoresBusy: 12, GPUsTotal: 4, GPUsBusy: 1,
+		TasksInFlight: 9, Shards: 2, ShardDepths: []int{3, 4}, Depth: 7,
+		Pushed: 100, Pulled: 93, Steals: 5, Schedulers: 2,
+		SchedulerPulls: []uint64{50, 43}, SchedulerDispatches: []uint64{48, 45},
+	}
+	got, err := DecodeAgentStats(EncodeAgentStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestAttachRoundTrip(t *testing.T) {
+	a := Attach{Kinds: []string{"task", "stage"}, Pipeline: "pipe.1", UIDs: []string{"t.1"}, Buffer: 512}
+	got, err := DecodeAttach(EncodeAttach(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("got %+v, want %+v", got, a)
+	}
+}
+
+func TestEventBatchRoundTrip(t *testing.T) {
+	evs := []RemoteEvent{
+		{Kind: "task", UID: "t.1", Name: "replica", Pipeline: "p.1", Stage: "s.1",
+			From: "EXECUTED", To: "DONE", VTime: time.Unix(12, 34), Attempt: 1},
+		{Kind: "pipeline", UID: "p.1", Name: "md", Pipeline: "p.1", From: "SCHEDULING", To: "DONE"},
+	}
+	got, err := DecodeEventBatch(EncodeEventBatch(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("got %+v\nwant %+v", got, evs)
+	}
+	n, err := DecodeEventEnd(EncodeEventEnd(17))
+	if err != nil || n != 17 {
+		t.Fatalf("event end: %d, %v", n, err)
+	}
+}
+
+func TestFrameTypeHelper(t *testing.T) {
+	if ft, ok := FrameType(EncodePing(1)); !ok || ft != FramePing {
+		t.Fatalf("FrameType(ping) = %x, %v", ft, ok)
+	}
+	if _, ok := FrameType([]byte(`{"json":true}`)); ok {
+		t.Fatal("JSON body reported as binary frame")
+	}
+	if _, ok := FrameType([]byte{Magic}); ok {
+		t.Fatal("short fragment reported as binary frame")
+	}
+}
+
+// FuzzDecodeRemote throws arbitrary bytes at the remote-frame decoders:
+// malformed, truncated or type-confused frames must error cleanly — never
+// panic, never over-allocate from a hostile element count.
+func FuzzDecodeRemote(f *testing.F) {
+	f.Add(EncodePing(9))
+	f.Add(EncodeHello(Hello{Proto: 1, Role: "agent", Name: "a", Cores: 64}))
+	f.Add(EncodeTaskBatch([]RemoteTask{{UID: "t.1", Executable: "sleep", Arguments: []string{"1"},
+		Environment: map[string]string{"K": "V"}, Input: []RemoteStaging{{Source: "s", Action: "Copy"}}}}))
+	f.Add(EncodeAgentStats(AgentStats{Alive: true, ShardDepths: []int{1}, SchedulerPulls: []uint64{2}}))
+	f.Add(EncodeAttach(Attach{Kinds: []string{"task"}, Buffer: 8}))
+	f.Add(EncodeEventBatch([]RemoteEvent{{Kind: "task", UID: "t", To: "DONE", VTime: time.Unix(1, 2)}}))
+	f.Add(EncodeEventEnd(3))
+	valid := EncodeTaskBatch([]RemoteTask{{UID: "task.000001", Name: "n", Executable: "mdrun"}})
+	for i := 0; i < len(valid); i += 2 {
+		f.Add(valid[:i])
+	}
+	f.Add([]byte{Magic, Version, FrameTaskBatch, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		DecodePing(body)       //nolint:errcheck
+		DecodePong(body)       //nolint:errcheck
+		DecodeHello(body)      //nolint:errcheck
+		DecodeTaskBatch(body)  //nolint:errcheck
+		DecodeAgentStats(body) //nolint:errcheck
+		DecodeAttach(body)     //nolint:errcheck
+		DecodeEventBatch(body) //nolint:errcheck
+		DecodeEventEnd(body)   //nolint:errcheck
+	})
+}

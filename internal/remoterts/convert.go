@@ -1,0 +1,138 @@
+package remoterts
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/msgcodec"
+)
+
+// toRemoteTasks translates task descriptions into their wire shape. Tasks
+// carrying a LocalFunc are rejected: in-process closures cannot cross a
+// socket, and silently dropping them would execute a different task than
+// the application described.
+func toRemoteTasks(tasks []core.TaskDescription) ([]msgcodec.RemoteTask, error) {
+	out := make([]msgcodec.RemoteTask, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		if t.LocalFunc != nil {
+			return nil, fmt.Errorf("remoterts: task %s sets LocalFunc, which cannot be shipped to a remote agent", t.UID)
+		}
+		out[i] = msgcodec.RemoteTask{
+			UID:         t.UID,
+			Name:        t.Name,
+			Executable:  t.Executable,
+			Arguments:   t.Arguments,
+			Environment: t.Environment,
+			Cores:       t.Cores,
+			GPUs:        t.GPUs,
+			Duration:    t.Duration,
+			IOLoad:      t.IOLoad,
+			PreExec:     t.PreExec,
+			PostExec:    t.PostExec,
+			Input:       toRemoteStaging(t.Input),
+			Output:      toRemoteStaging(t.Output),
+			Attempt:     t.Attempt,
+			Tags:        t.Tags,
+		}
+	}
+	return out, nil
+}
+
+// fromRemoteTasks is the agent-side inverse of toRemoteTasks.
+func fromRemoteTasks(tasks []msgcodec.RemoteTask) []core.TaskDescription {
+	out := make([]core.TaskDescription, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		out[i] = core.TaskDescription{
+			UID:         t.UID,
+			Name:        t.Name,
+			Executable:  t.Executable,
+			Arguments:   t.Arguments,
+			Environment: t.Environment,
+			Cores:       t.Cores,
+			GPUs:        t.GPUs,
+			Duration:    t.Duration,
+			IOLoad:      t.IOLoad,
+			PreExec:     t.PreExec,
+			PostExec:    t.PostExec,
+			Input:       fromRemoteStaging(t.Input),
+			Output:      fromRemoteStaging(t.Output),
+			Attempt:     t.Attempt,
+			Tags:        t.Tags,
+		}
+	}
+	return out
+}
+
+func toRemoteStaging(ds []core.StagingDirective) []msgcodec.RemoteStaging {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]msgcodec.RemoteStaging, len(ds))
+	for i, d := range ds {
+		out[i] = msgcodec.RemoteStaging{
+			Source:   d.Source,
+			Target:   d.Target,
+			Action:   string(d.Action),
+			Bytes:    d.Bytes,
+			Protocol: d.Protocol,
+		}
+	}
+	return out
+}
+
+func fromRemoteStaging(ds []msgcodec.RemoteStaging) []core.StagingDirective {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]core.StagingDirective, len(ds))
+	for i, d := range ds {
+		out[i] = core.StagingDirective{
+			Source:   d.Source,
+			Target:   d.Target,
+			Action:   core.StagingAction(d.Action),
+			Bytes:    d.Bytes,
+			Protocol: d.Protocol,
+		}
+	}
+	return out
+}
+
+// toRemoteEvents translates lifecycle events into their wire shape.
+func toRemoteEvents(evs []core.Event) []msgcodec.RemoteEvent {
+	out := make([]msgcodec.RemoteEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = msgcodec.RemoteEvent{
+			Kind:     string(ev.Kind),
+			UID:      ev.UID,
+			Name:     ev.Name,
+			Pipeline: ev.Pipeline,
+			Stage:    ev.Stage,
+			From:     ev.From,
+			To:       ev.To,
+			VTime:    ev.VTime,
+			Attempt:  ev.Attempt,
+		}
+	}
+	return out
+}
+
+// fromRemoteEvents is the subscriber-side inverse of toRemoteEvents.
+func fromRemoteEvents(evs []msgcodec.RemoteEvent) []core.Event {
+	out := make([]core.Event, len(evs))
+	for i, ev := range evs {
+		out[i] = core.Event{
+			Kind:     core.EventKind(ev.Kind),
+			UID:      ev.UID,
+			Name:     ev.Name,
+			Pipeline: ev.Pipeline,
+			Stage:    ev.Stage,
+			From:     ev.From,
+			To:       ev.To,
+			VTime:    ev.VTime,
+			Attempt:  ev.Attempt,
+		}
+	}
+	return out
+}

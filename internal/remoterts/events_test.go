@@ -1,0 +1,127 @@
+package remoterts
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// testBus hands out real core.EventSub rings via a standalone EventBus, so
+// the remote fan-out is tested against the genuine in-process contract.
+func testBus(t *testing.T) *core.EventBus {
+	t.Helper()
+	return core.NewEventBus()
+}
+
+func TestEventServerRoundTrip(t *testing.T) {
+	am := testBus(t)
+	s, err := NewEventServer("tcp:127.0.0.1:0", am.Subscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	es, err := AttachEvents(s.Addr(), core.EventFilter{Buffer: 64}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	// Publishing needs an attached subscriber; wait until the server has
+	// registered the peer.
+	waitFor(t, "peer registration", func() bool { return len(s.PeerStats()) == 1 })
+
+	want := 20
+	for i := 0; i < want; i++ {
+		am.Publish(core.Event{Kind: core.EventTask, UID: uid(i), To: "DONE", VTime: time.Unix(int64(i), 0)})
+	}
+
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < want {
+		select {
+		case ev, ok := <-es.C():
+			if !ok {
+				t.Fatalf("stream closed after %d/%d events", got, want)
+			}
+			if ev.Kind != core.EventTask || ev.To != "DONE" {
+				t.Fatalf("event mangled in transit: %+v", ev)
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d events", got, want)
+		}
+	}
+
+	stats := s.PeerStats()
+	if len(stats) != 1 || stats[0].Sent < uint64(want) || !stats[0].Connected {
+		t.Fatalf("peer stats: %+v", stats)
+	}
+}
+
+func TestEventServerDropAccounting(t *testing.T) {
+	am := testBus(t)
+	s, err := NewEventServer("tcp:127.0.0.1:0", am.Subscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A tiny ring and a burst far beyond it: the peer must lose events,
+	// and the loss must be visible in its Dropped tally — never block the
+	// publisher.
+	es, err := AttachEvents(s.Addr(), core.EventFilter{Buffer: 4}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	waitFor(t, "peer registration", func() bool { return len(s.PeerStats()) == 1 })
+
+	start := time.Now()
+	for i := 0; i < 100000; i++ {
+		am.Publish(core.Event{Kind: core.EventTask, UID: "task.a", To: "DONE"})
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("publishing blocked on a slow remote peer: %v for 100k events", elapsed)
+	}
+
+	waitFor(t, "drop accounting", func() bool {
+		st := s.PeerStats()
+		return len(st) == 1 && st[0].Dropped > 0
+	})
+}
+
+func TestEventStreamEndFrame(t *testing.T) {
+	am := testBus(t)
+	s, err := NewEventServer("tcp:127.0.0.1:0", am.Subscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	es, err := AttachEvents(s.Addr(), core.EventFilter{Buffer: 16}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer registration", func() bool { return len(s.PeerStats()) == 1 })
+	am.Publish(core.Event{Kind: core.EventPipeline, UID: "p.1", To: "DONE"})
+
+	// Closing the run's event bus ends every subscription; the remote
+	// stream must end cleanly with the server's drop count.
+	am.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-es.C():
+			if !ok {
+				if !es.Ended() {
+					t.Fatal("stream closed without a clean end-of-stream frame")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream never ended after the bus closed")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the connection framing:
+// truncated, oversized or garbage length prefixes must yield an error —
+// never a panic, and never an allocation beyond the frame cap (the length is
+// validated against the limit before the body buffer is made, mirroring the
+// journal's torn-tail fix).
+func FuzzReadFrame(f *testing.F) {
+	var ok bytes.Buffer
+	WriteFrame(&ok, []byte("a well-formed frame")) //nolint:errcheck
+	f.Add(ok.Bytes())
+	f.Add(ok.Bytes()[:2])                                                              // torn prefix/body
+	f.Add([]byte{})                                                                    // empty stream
+	f.Add([]byte{0x00})                                                                // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})          // ~2^63 length
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})    // overlong uvarint
+	f.Add(append([]byte{0x05}, "ab"...))                                               // truncated body
+	f.Add(append(binary.AppendUvarint(nil, 1<<21), bytes.Repeat([]byte{0xBF}, 16)...)) // prefix beyond cap
+
+	const cap = 1 << 20
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bufio.NewReader(bytes.NewReader(stream))
+		for {
+			body, err := ReadFrameLimit(r, cap)
+			if err != nil {
+				return // the stream must always end in a clean error or EOF
+			}
+			if uint64(len(body)) > cap {
+				t.Fatalf("frame of %d bytes exceeds the %d cap", len(body), cap)
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip pins that any body that fits the cap survives a
+// write/read cycle bit for bit.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"))
+	f.Add([]byte{})
+	f.Add([]byte{0xBF, 0x01, 0x30})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Networked-control-plane end-to-end smoke test (also run by CI):
+#
+#   1. build entk-agent and entk-run
+#   2. start two entk-agent processes on ephemeral localhost TCP ports
+#   3. run the shipped example application through both agents from one
+#      manager (entk-run -agents)
+#   4. assert every task reached DONE with zero stranded frames
+#   5. shut the agents down and assert they served a sane result count
+#
+# Exits nonzero on any failed step. Runs in a few seconds: the example app
+# is ~780 virtual seconds and everything runs at 1ms per virtual second.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+cleanup() {
+    [ -n "${A1PID:-}" ] && kill "$A1PID" 2>/dev/null || true
+    [ -n "${A2PID:-}" ] && kill "$A2PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$TMP/entk-agent" ./cmd/entk-agent
+go build -o "$TMP/entk-run" ./cmd/entk-run
+
+# Each agent simulates half of the example app's 64-core claim. The pilot
+# walltime is virtual — 72h at 1ms/s is a ~260s wall-clock budget, ample
+# margin over the run on a loaded CI runner.
+start_agent() { # $1=name $2=log
+    "$TMP/entk-agent" -listen tcp:127.0.0.1:0 -name "$1" \
+        -resource supermic -cores 32 -walltime 72h -scale 1ms >"$2" 2>&1 &
+}
+
+wait_addr() { # $1=log $2=pid -> prints bound address
+    for _ in $(seq 1 100); do
+        if addr=$(grep -o 'listening on [^ ]*' "$1" | head -1 | cut -d' ' -f3) && [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        kill -0 "$2" 2>/dev/null || { echo "agent died during startup:" >&2; cat "$1" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "agent never reported its address:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+echo "== starting two agents"
+start_agent smoke-a "$TMP/a1.log"; A1PID=$!
+start_agent smoke-b "$TMP/a2.log"; A2PID=$!
+ADDR1=$(wait_addr "$TMP/a1.log" "$A1PID")
+ADDR2=$(wait_addr "$TMP/a2.log" "$A2PID")
+echo "   $ADDR1 / $ADDR2"
+
+echo "== running example app across both agents"
+OUT=$("$TMP/entk-run" -app cmd/entk-run/example-app.json -agents "$ADDR1,$ADDR2" -scale 1ms)
+echo "$OUT"
+echo "$OUT" | grep -q "stranded frames: 0" || { echo "frames were stranded in flight"; exit 1; }
+DONE_LINE=$(echo "$OUT" | grep "remote run:")
+echo "$DONE_LINE" | grep -Eq "remote run: ([0-9]+)/\1 tasks done" || { echo "not every task reached DONE"; exit 1; }
+
+echo "== shutting agents down"
+kill -TERM "$A1PID" "$A2PID"
+wait "$A1PID" || { echo "agent a exited nonzero:"; cat "$TMP/a1.log"; exit 1; }
+wait "$A2PID" || { echo "agent b exited nonzero:"; cat "$TMP/a2.log"; exit 1; }
+A1PID=""; A2PID=""
+
+# Both agents must have shipped results (the proxy stripes batches), and
+# each should report exactly one RTS incarnation (no failover happened).
+for log in "$TMP/a1.log" "$TMP/a2.log"; do
+    grep -q "served [1-9][0-9]* task results over 1 RTS incarnations" "$log" || {
+        echo "agent served nothing, or failed over, in $log:"; cat "$log"; exit 1; }
+done
+
+echo "== remote smoke OK"
