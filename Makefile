@@ -15,10 +15,13 @@ GO ?= go
 # entkd-hosted runs vs K sequential in-process runs — the shared pilot
 # pool must keep amortizing setup) and the remote round-trip ablation
 # (the networked control plane's batched-frame tax over unix/TCP against
-# the in-process path). Stable, fast, and the numbers this
+# the in-process path), the autotune overhead contract (controller-on
+# steady state within 3% of controller-off; docs/autotune.md) and the
+# autotune ablation (bursty workload: static worst/best vs the live
+# controller). Stable, fast, and the numbers this
 # repo's PRs argue about. benchdiff also gates allocs/op at 10%, and on CI the alloc gate
 # is a hard failure while ns/op stays warn-only (see docs/ci.md).
-BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery|BenchmarkDaemonMultiRun|BenchmarkRemoteRoundTrip)
+BENCH_GATE := ^(BenchmarkBroker|BenchmarkAblationBrokerConsumers|BenchmarkAblationSchedulers|BenchmarkEventStreamOverhead|BenchmarkSyncTransition|BenchmarkFig6Codec|BenchmarkRecovery|BenchmarkDaemonMultiRun|BenchmarkRemoteRoundTrip|BenchmarkAutotuneOverhead|BenchmarkAblationAutotune)
 
 .PHONY: build test bench lint bench-json bench-gate bench-baseline check-artifacts daemon-smoke remote-smoke
 

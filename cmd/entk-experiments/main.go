@@ -18,7 +18,8 @@
 // weak-scaling sweep across broker batch sizes; 12 = Fig 6 wire-codec
 // ablation (batched broker, JSON vs binary task bodies); 13 = Fig 8-style
 // weak-scaling sweep across agent scheduler counts (the multi-scheduler
-// agent over the sharded task store).
+// agent over the sharded task store); 14 = live-autotuning ablation (bursty
+// workload, the knob controller vs every static grid setting).
 package main
 
 import (
@@ -176,6 +177,13 @@ func main() {
 			fail(err)
 		}
 		experiments.RenderSchedulerSweep(os.Stdout, rows)
+	}
+	if want["14"] {
+		rows, err := experiments.Fig10Live(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderFig10Live(os.Stdout, rows)
 	}
 	if want["tune"] {
 		rec, err := experiments.AutotuneConcurrency(opts)

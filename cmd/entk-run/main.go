@@ -17,7 +17,7 @@
 //
 // Run with:
 //
-//	entk-run -app app.json [-scale 1ms] [-v] [-check] [-progress] [-cancel name] [-schedulers n]
+//	entk-run -app app.json [-scale 1ms] [-v] [-check] [-progress] [-cancel name] [-schedulers n] [-autotune]
 //
 // -progress streams the run's lifecycle transitions live (stage and
 // pipeline events, plus task events with -v) and periodic completion
@@ -37,6 +37,12 @@
 // event stream to remote subscribers; a second entk-run invoked with
 // -attach <addr> (no -app needed) renders that stream live, ending with the
 // server-side drop count for its subscription.
+//
+// -autotune turns on the live knob controller (docs/autotune.md): a
+// per-run goroutine samples queue depths, steal ratios, dispatch latency
+// and event drops, and steers the broker batch size and scheduler-pool
+// size while the run executes. Knob decisions appear in -progress as
+// "knob" events, and the progress line grows a live-knob summary.
 //
 // -daemon <socket> submits the application to a running entkd service
 // instead of executing it in-process: the run shares the daemon's pilot
@@ -70,6 +76,7 @@ func main() {
 		cancelP  = flag.String("cancel", "", "cancel the named pipeline shortly after start")
 		wire     = flag.String("wire", "binary", "control-plane wire format: binary (fast) or json (inspectable messages and journal)")
 		scheds   = flag.Int("schedulers", 0, "agent scheduler loops draining the task store (0 = min(GOMAXPROCS, shards), 1 = strict-FIFO single scheduler)")
+		autotune = flag.Bool("autotune", false, "enable the live knob controller: steer batch size and scheduler pool from runtime stats (docs/autotune.md)")
 		jdir     = flag.String("journal", "", "directory for the durable state journal (segments + snapshots + RTS audit); enables crash recovery")
 		resume   = flag.Bool("resume", false, "continue the journaled run found in -journal (completed tasks are not re-executed)")
 		dSock    = flag.String("daemon", "", "submit to the entkd service at this unix socket instead of running in-process")
@@ -126,6 +133,7 @@ func main() {
 		Seed:             desc.Seed,
 		WireFormat:       *wire,
 		SchedulerWorkers: *scheds,
+		Tuning:           entk.Tuning{Autotune: entk.Autotune{Enabled: *autotune}},
 		JournalDir:       *jdir,
 		RemoteAgents:     splitAddrs(*agents),
 	})
@@ -150,6 +158,9 @@ func main() {
 		kinds := []entk.EventKind{entk.EventStage, entk.EventPipeline}
 		if *verbose {
 			kinds = append(kinds, entk.EventTask)
+		}
+		if *autotune {
+			kinds = append(kinds, entk.EventKnob)
 		}
 		sub = am.Subscribe(entk.EventFilter{Kinds: kinds})
 	}
@@ -188,7 +199,7 @@ func main() {
 			streamDone := make(chan struct{})
 			go func() {
 				defer close(streamDone)
-				renderEvents(run, sub)
+				renderEvents(run, sub, *autotune)
 			}()
 			runErr = run.Wait()
 			<-streamDone
@@ -206,6 +217,10 @@ func main() {
 		// means results were lost between an agent and the manager.
 		fmt.Printf("remote run: %d/%d tasks done, stranded frames: %d\n",
 			finalSnap.TasksDone, finalSnap.TasksTotal, finalSnap.Utilization.TasksInFlight)
+	}
+	if *autotune {
+		fmt.Printf("autotune: %d knob changes — final batch=%d schedulers=%d, %d event drops\n",
+			finalSnap.KnobChanges, finalSnap.LiveBatchSize, finalSnap.LiveSchedulers, finalSnap.EventDrops)
 	}
 	for _, peer := range finalSnap.EventPeers {
 		state := "attached"
@@ -343,8 +358,9 @@ func runViaDaemon(raw []byte, desc *appjson.App, socket, tenant string, journal 
 
 // renderEvents prints each lifecycle transition as it commits, with a
 // progress line from the run handle's snapshot whenever a stage or
-// pipeline reaches a terminal state.
-func renderEvents(run *entk.Run, sub *entk.EventSub) {
+// pipeline reaches a terminal state. With autotune on, knob events arrive
+// interleaved and each progress line carries the live knob values.
+func renderEvents(run *entk.Run, sub *entk.EventSub, autotune bool) {
 	for ev := range sub.C() {
 		vsec := ev.VTime.Sub(vclock.Epoch).Seconds()
 		fmt.Printf("[%10.1fs] %-8s %-24s %s -> %s\n", vsec, ev.Kind, ev.Name, ev.From, ev.To)
@@ -353,6 +369,10 @@ func renderEvents(run *entk.Run, sub *entk.EventSub) {
 			fmt.Printf("[%10.1fs] progress  %d/%d tasks done (%d failed, %d canceled), %d/%d cores busy\n",
 				vsec, snap.TasksDone, snap.TasksTotal, snap.TasksFailed, snap.TasksCanceled,
 				snap.Utilization.CoresBusy, snap.Utilization.CoresTotal)
+			if autotune {
+				fmt.Printf("[%10.1fs] knobs     batch=%d schedulers=%d (%d changes, %d event drops)\n",
+					vsec, snap.LiveBatchSize, snap.LiveSchedulers, snap.KnobChanges, snap.EventDrops)
+			}
 		}
 	}
 }

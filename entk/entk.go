@@ -129,6 +129,9 @@ const (
 	EventTask     = core.EventTask
 	EventStage    = core.EventStage
 	EventPipeline = core.EventPipeline
+	// EventKnob is an autotune controller decision (Name names the knob,
+	// From/To its values as decimal strings, UID the rule that fired).
+	EventKnob = core.EventKnob
 )
 
 // ErrAlreadyRan is returned by Start (and Run) when the AppManager has
@@ -308,7 +311,9 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 	if len(cfg.RemoteAgents) > 0 && len(cfg.ExtraResources) > 0 {
 		return nil, errors.New("entk: RemoteAgents and ExtraResources are mutually exclusive")
 	}
-	tun, err := cfg.effectiveTuning()
+	// One resolved-tuning struct feeds both core.Config and rts.Config, so
+	// the live knob handle has a single source of truth.
+	tun, err := cfg.resolveTuning()
 	if err != nil {
 		return nil, err
 	}
@@ -407,21 +412,18 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		}
 	}
 
-	am, err := core.NewAppManager(core.Config{
-		Clock:            clock,
-		Host:             host,
-		JournalPath:      cfg.JournalPath,
-		JournalDir:       cfg.JournalDir,
-		SnapshotEvery:    tun.SnapshotEvery,
-		SegmentBytes:     cfg.SegmentBytes,
-		StateStore:       cfg.StateStore,
-		TaskRetries:      cfg.TaskRetries,
-		RTSRestarts:      cfg.RTSRestarts,
-		EmgrBatch:        tun.BatchSize,
-		QueueShards:      tun.QueueShards,
-		SchedulerWorkers: tun.SchedulerWorkers,
-		WireFormat:       tun.WireFormat,
-	})
+	coreCfg := core.Config{
+		Clock:        clock,
+		Host:         host,
+		JournalPath:  cfg.JournalPath,
+		JournalDir:   cfg.JournalDir,
+		SegmentBytes: cfg.SegmentBytes,
+		StateStore:   cfg.StateStore,
+		TaskRetries:  cfg.TaskRetries,
+		RTSRestarts:  cfg.RTSRestarts,
+	}
+	tun.applyCore(&coreCfg)
+	am, err := core.NewAppManager(coreCfg)
 	if err != nil {
 		closeAll()
 		return nil, err
@@ -435,16 +437,15 @@ func NewAppManager(cfg AppConfig) (*AppManager, error) {
 		Project:  cfg.Resource.Project,
 	})
 	baseRTS := rts.Config{
-		Clock:       clock,
-		Session:     session,
-		Registry:    registry,
-		FS:          fs,
-		Prof:        am.Profiler(),
-		Compute:     cfg.Compute,
-		Seed:        cfg.Seed,
-		QueueShards: tun.QueueShards,
-		Schedulers:  tun.SchedulerWorkers,
+		Clock:    clock,
+		Session:  session,
+		Registry: registry,
+		FS:       fs,
+		Prof:     am.Profiler(),
+		Compute:  cfg.Compute,
+		Seed:     cfg.Seed,
 	}
+	tun.applyRTS(&baseRTS)
 	if cfg.JournalDir != "" {
 		// Durable mode audits RTS submissions next to the state journal, so
 		// a resumed run can prove completed tasks were not re-submitted

@@ -8,12 +8,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/broker"
 	"repro/internal/hostmodel"
 	"repro/internal/journal"
 	"repro/internal/msgcodec"
 	"repro/internal/profiler"
 	"repro/internal/statedb"
+	"repro/internal/tuning"
 	"repro/internal/vclock"
 )
 
@@ -104,6 +106,16 @@ type Config struct {
 	// always accepts both, so journals written under either setting replay
 	// under the other. See docs/wire-format.md.
 	WireFormat string
+	// Live is the run's mutable knob handle: the batch-size knob every hot
+	// path reads with one atomic load. An embedding layer (entk) that also
+	// builds the RTS passes the same handle into both, giving the autotune
+	// controller a single source of truth. When nil, setDefaults builds a
+	// collapsed-bounds handle from EmgrBatch/SchedulerWorkers whose values
+	// can never change — the autotune-off contract.
+	Live *tuning.Live
+	// Autotune configures the live knob controller (see docs/autotune.md).
+	// Zero value (Enabled false) means no controller goroutine exists.
+	Autotune autotune.Policy
 
 	// wireFmt is the parsed WireFormat, resolved by setDefaults.
 	wireFmt msgcodec.Format
@@ -139,6 +151,13 @@ func (c *Config) setDefaults() error {
 		return err
 	}
 	c.wireFmt = f
+	if c.Live == nil {
+		scheds := c.SchedulerWorkers
+		if scheds < 1 {
+			scheds = 1
+		}
+		c.Live = tuning.Fixed(c.EmgrBatch, scheds)
+	}
 	return nil
 }
 
@@ -183,6 +202,15 @@ type AppManager struct {
 
 	active int64 // tasks currently being managed (for host strain)
 
+	// live is the hot paths' view of the mutable knobs (== cfg.Live); tuner
+	// is the autotune controller steering it when cfg.Autotune.Enabled, with
+	// knobChanges counting its committed decisions for Progress.
+	live        *tuning.Live
+	tuner       *autotune.Controller
+	tunerStop   chan struct{}
+	tunerWG     sync.WaitGroup
+	knobChanges atomic.Uint64
+
 	completionMu sync.Mutex // serializes stage/pipeline completion logic
 
 	doneCh chan struct{}
@@ -216,6 +244,7 @@ func NewAppManager(cfg Config) (*AppManager, error) {
 		clock:  cfg.Clock,
 		prof:   cfg.Profiler,
 		host:   cfg.Host,
+		live:   cfg.Live,
 		tasks:  make(map[string]*Task),
 		stages: make(map[string]*Stage),
 		pipes:  make(map[string]*Pipeline),
@@ -224,6 +253,10 @@ func NewAppManager(cfg Config) (*AppManager, error) {
 	}
 	return am, nil
 }
+
+// LiveTuning exposes the run's mutable knob handle (observability, tests,
+// and the -progress knob line).
+func (am *AppManager) LiveTuning() *tuning.Live { return am.live }
 
 // SetResource records the resource request passed to the RTS.
 func (am *AppManager) SetResource(res ResourceDesc) { am.res = res }

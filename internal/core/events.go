@@ -9,11 +9,17 @@ import (
 // EventKind classifies a lifecycle event by the entity that transitioned.
 type EventKind string
 
-// Event kinds, matching the entity vocabulary of the state machines.
+// Event kinds, matching the entity vocabulary of the state machines, plus
+// the autotune controller's knob decisions.
 const (
 	EventTask     EventKind = "task"
 	EventStage    EventKind = "stage"
 	EventPipeline EventKind = "pipeline"
+	// EventKnob is an autotune controller decision: Name is the knob
+	// ("batch" or "schedulers"), From/To its values as decimal strings, and
+	// UID is "autotune/<reason>" naming the rule that fired. Knob events are
+	// never terminal.
+	EventKnob EventKind = "knob"
 )
 
 // Event is one committed state transition, published by the Synchronizer at
@@ -160,6 +166,9 @@ func (s *EventSub) push(ev Event) {
 		s.head = (s.head + 1) % len(s.ring)
 		s.count--
 		s.dropped.Add(1)
+		if s.bus != nil {
+			s.bus.drops.Add(1)
+		}
 	}
 	s.ring[(s.head+s.count)%len(s.ring)] = ev
 	s.count++
@@ -211,6 +220,10 @@ type eventBus struct {
 	subs   map[*EventSub]struct{}
 	n      atomic.Int32
 	closed bool
+	// drops aggregates every subscriber ring's drop-oldest discards — the
+	// bus-wide counter behind Progress.EventDrops and the controller's
+	// drop-burst signal (per-subscriber Dropped() is poll-only).
+	drops atomic.Uint64
 }
 
 func newEventBus() *eventBus {
@@ -415,6 +428,17 @@ type Progress struct {
 	// it (core.StoreStatsReporter). Before the RTS starts, Schedulers falls
 	// back to the configured Config.SchedulerWorkers knob.
 	Store StoreStats
+	// EventDrops aggregates drop-oldest discards across every in-process
+	// event subscriber ring (per-subscriber Dropped() remains poll-only;
+	// remote peers are accounted separately under EventPeers).
+	EventDrops uint64
+	// LiveBatchSize and LiveSchedulers are the current values of the run's
+	// mutable knobs; with autotune disabled they equal the configured
+	// Tuning knobs for the whole run. KnobChanges counts the autotune
+	// controller's committed decisions (0 when disabled).
+	LiveBatchSize  int
+	LiveSchedulers int
+	KnobChanges    uint64
 	// EventPeers reports remote event subscribers — per-peer sent and
 	// drop-oldest counters from the networked event fan-out. Empty unless
 	// a remote event server is attached (AddEventPeerSource).
@@ -483,6 +507,12 @@ func (am *AppManager) Snapshot() Progress {
 		// knob so dashboards render a stable scheduler count.
 		p.Store.Schedulers = am.cfg.SchedulerWorkers
 	}
+	p.EventDrops = am.events.drops.Load()
+	if am.live != nil {
+		p.LiveBatchSize = am.live.BatchSize()
+		p.LiveSchedulers = am.live.Schedulers()
+	}
+	p.KnobChanges = am.knobChanges.Load()
 	p.EventPeers = am.eventPeers()
 	p.Durability = am.durabilityStats()
 	return p

@@ -70,8 +70,11 @@ func (e *execManager) start(ctx context.Context) error {
 	e.mu.Unlock()
 
 	// Pull-mode consumer: the Emgr pops whole batches of pending messages
-	// per broker round-trip instead of draining a delivery channel.
-	if e.pendC, err = e.am.brk.ConsumeBatch(e.am.qname(QueuePending), e.am.cfg.EmgrBatch); err != nil {
+	// per broker round-trip instead of draining a delivery channel. The
+	// consumer prefetch caps the realizable batch size, so it registers at
+	// the live knob's upper bound; with autotune disabled the bound
+	// collapses onto the configured EmgrBatch.
+	if e.pendC, err = e.am.brk.ConsumeBatch(e.am.qname(QueuePending), e.am.live.MaxBatch()); err != nil {
 		return err
 	}
 
@@ -101,8 +104,9 @@ func (e *execManager) emgrLoop(ctx context.Context) {
 		default:
 		}
 		// One broker round-trip per batch; cancellation (stop, broker
-		// close) surfaces as an error from ReceiveBatch.
-		batch, err := e.pendC.ReceiveBatch(e.am.cfg.EmgrBatch)
+		// close) surfaces as an error from ReceiveBatch. The batch bound is
+		// the live knob: one atomic load per broker round-trip.
+		batch, err := e.pendC.ReceiveBatch(e.am.live.BatchSize())
 		if err != nil {
 			return
 		}

@@ -77,6 +77,13 @@ type StoreStats struct {
 	Schedulers          int
 	SchedulerPulls      []uint64
 	SchedulerDispatches []uint64
+	// SchedulerBusy is the cumulative virtual time each scheduler loop spent
+	// dispatching pulled batches (index = scheduler id): Δbusy/Δdispatched
+	// is the per-task dispatch latency the autotune controller watches.
+	// Local-only — the remote wire's AgentStats does not carry it (a
+	// msgcodec version bump would be required), so a remote RTS reports an
+	// empty slice.
+	SchedulerBusy []time.Duration
 }
 
 // StoreStatsReporter is the optional RTS extension behind Progress.Store.

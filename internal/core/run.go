@@ -218,6 +218,10 @@ func (am *AppManager) Start(ctx context.Context) (*Run, error) {
 		return nil, err
 	}
 
+	// The autotune controller (if enabled) starts last: its sampler reads
+	// the broker and the RTS, both live by now.
+	am.startAutotune()
+
 	go r.supervise(runCtx)
 	return r, nil
 }
@@ -304,6 +308,9 @@ func (r *Run) supervise(runCtx context.Context) {
 	r.cancelFn(nil) // release the derived context
 
 	// ---- Tear-down ------------------------------------------------------
+	// The controller stops first so no sample races a closing broker or a
+	// stopping RTS.
+	am.stopAutotune()
 	am.wfp.stop()
 	am.emgr.stopComponentsOnly()
 	if am.ctl != nil {

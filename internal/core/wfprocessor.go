@@ -228,8 +228,9 @@ func (w *wfProcessor) scheduleStage(p *Pipeline, stage *Stage) error {
 		// batch granularity is controllable, but however many messages that
 		// yields, the broker is traversed once. Encoding reuses the loop's
 		// scratch UID slice and msgcodec's pooled buffers, so each chunk
-		// costs exactly one allocation (its body).
-		chunk := w.am.cfg.EmgrBatch
+		// costs exactly one allocation (its body). The chunk size is the
+		// live batch knob: one atomic load per stage-scheduling decision.
+		chunk := w.am.live.BatchSize()
 		var bodies [][]byte
 		for start := 0; start < len(runnable); start += chunk {
 			end := start + chunk

@@ -121,6 +121,21 @@ func RenderFig10(w io.Writer, rows []Fig10Row) {
 	}
 }
 
+// RenderFig10Live prints the live-autotuning ablation: the bursty workload
+// across the static knob grid and under the controller, with each run's
+// tasks/s figure of merit and the controller's final operating point.
+func RenderFig10Live(w io.Writer, rows []Fig10LiveRow) {
+	title := "Fig 10-live: bursty workload — autotune controller vs static knob grid (xsede-vm host)"
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-24s %8s %12s %10s %8s %12s %12s\n",
+		"setting", "tasks", "virtual_s", "tasks/s", "knobs", "final_batch", "final_scheds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %8d %12.1f %10.2f %8d %12d %12d\n",
+			r.Setting, r.Tasks, r.VirtualS, r.TasksPerSec,
+			r.KnobChanges, r.FinalBatch, r.FinalSchedulers)
+	}
+}
+
 // RenderFig11 prints the AnEn comparison.
 func RenderFig11(w io.Writer, res *Fig11Result) {
 	title := "Fig 11: AUA vs random analog selection"

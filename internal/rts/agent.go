@@ -42,14 +42,17 @@ type agent struct {
 	schedStats []schedStat
 }
 
-// schedStat is one scheduler loop's tally: store pulls served and tasks
-// dispatched. Padded to a cache line so adjacent loops' per-task counter
-// updates never false-share — the dispatch path is exactly what the
-// scheduler pool parallelizes.
+// schedStat is one scheduler loop's tally: store pulls served, tasks
+// dispatched, and virtual time spent dispatching pulled batches (busy, in
+// nanoseconds — it includes time blocked waiting for cores, so a saturated
+// pilot reads as a busy scheduler). Padded to a cache line so adjacent
+// loops' per-task counter updates never false-share — the dispatch path is
+// exactly what the scheduler pool parallelizes.
 type schedStat struct {
 	pulls      atomic.Uint64
 	dispatched atomic.Uint64
-	_          [48]byte
+	busy       atomic.Int64
+	_          [40]byte
 }
 
 type stageRequest struct {
@@ -226,13 +229,36 @@ func (a *agent) schedulerLoop(id int) {
 	burst := 0
 	st := &a.schedStats[id]
 	single := a.schedulers == 1
+	live := a.rts.live
 	for {
+		// Park while the live target excludes this loop (the autotune
+		// controller shrank the pool); a knob change or an RTS stop unparks
+		// it. The Changed channel is taken before re-reading the target so a
+		// concurrent grow can never be missed. With a collapsed-bounds
+		// handle the target equals the pool size and this never parks.
+		for id >= live.Schedulers() {
+			ch := live.Changed()
+			if id < live.Schedulers() {
+				break
+			}
+			select {
+			case <-ch:
+			case <-a.rts.stopCh:
+				return
+			}
+		}
+		// The pull bound is the live batch knob, capped by the fixed
+		// per-round-trip ceiling: one atomic load per pull decision.
+		max := schedulerPullBatch
+		if b := live.BatchSize(); b < max {
+			max = b
+		}
 		var descs []core.TaskDescription
 		var ok bool
 		if single {
-			descs, ok = a.rts.store.PullBatch(schedulerPullBatch)
+			descs, ok = a.rts.store.PullBatch(max)
 		} else {
-			descs, ok = a.rts.store.PullBatchPreferred(id, schedulerPullBatch)
+			descs, ok = a.rts.store.PullBatchPreferred(id, max)
 		}
 		if !ok {
 			// Closed — or failed on a journal append; a failed store kills
@@ -241,24 +267,32 @@ func (a *agent) schedulerLoop(id int) {
 			return
 		}
 		st.pulls.Add(1)
+		start := a.rts.clock.Now()
 		for _, desc := range descs {
 			if !a.place(desc, &burst) {
 				return // agent stopping
 			}
 			st.dispatched.Add(1)
 		}
+		// One busy measurement per pulled batch (two clock reads, amortized
+		// over the whole batch), feeding the controller's dispatch-latency
+		// signal.
+		st.busy.Add(int64(a.rts.clock.Now().Sub(start)))
 	}
 }
 
-// schedulerStats snapshots the per-scheduler pull and dispatch tallies.
-func (a *agent) schedulerStats() (pulls, dispatched []uint64) {
+// schedulerStats snapshots the per-scheduler pull, dispatch and busy-time
+// tallies.
+func (a *agent) schedulerStats() (pulls, dispatched []uint64, busy []time.Duration) {
 	pulls = make([]uint64, len(a.schedStats))
 	dispatched = make([]uint64, len(a.schedStats))
+	busy = make([]time.Duration, len(a.schedStats))
 	for i := range a.schedStats {
 		pulls[i] = a.schedStats[i].pulls.Load()
 		dispatched[i] = a.schedStats[i].dispatched.Load()
+		busy[i] = time.Duration(a.schedStats[i].busy.Load())
 	}
-	return pulls, dispatched
+	return pulls, dispatched, busy
 }
 
 // place schedules one task, blocking until its cores and GPUs are free; it

@@ -238,6 +238,7 @@ func (r *Router) StoreStats() core.StoreStats {
 		out.Schedulers += st.Schedulers
 		out.SchedulerPulls = append(out.SchedulerPulls, st.SchedulerPulls...)
 		out.SchedulerDispatches = append(out.SchedulerDispatches, st.SchedulerDispatches...)
+		out.SchedulerBusy = append(out.SchedulerBusy, st.SchedulerBusy...)
 	}
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/profiler"
 	"repro/internal/saga"
+	"repro/internal/tuning"
 	"repro/internal/vclock"
 	"repro/internal/workload"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	// next non-empty one; per-shard FIFO survives, cross-shard order does
 	// not (see docs/api.md for the ordering contract).
 	Schedulers int
+	// Live, when non-nil, is the run's mutable knob handle shared with the
+	// EnTK core: the agent spawns Live.MaxSchedulers() scheduler loops and
+	// loops above the live target park until it grows back, and store pulls
+	// are bounded by the live batch knob. When nil the RTS builds a private
+	// collapsed-bounds handle from Schedulers and the fixed pull batch, so
+	// nothing can ever change — the autotune-off contract.
+	Live *tuning.Live
 }
 
 // PilotRTS is the pilot-based runtime system implementing core.RTS.
@@ -69,6 +77,7 @@ type PilotRTS struct {
 	store *store
 	agent *agent
 	jrn   *journal.Journal
+	live  *tuning.Live
 
 	completions chan core.TaskResult
 	stopCh      chan struct{}
@@ -152,7 +161,15 @@ func (r *PilotRTS) Start(ctx context.Context) error {
 		return fmt.Errorf("rts: pilot submission: %w", err)
 	}
 	r.pilot = pilot
-	r.agent = newAgent(r, res.Cores, res.GPUs, r.resolveSchedulers())
+	// The live knob handle: shared with the EnTK core when injected, or a
+	// private collapsed-bounds one (fixed pull batch, fixed pool) otherwise.
+	// The agent spawns the knob's upper bound of scheduler loops; loops
+	// above the live target park until the target grows back.
+	r.live = r.cfg.Live
+	if r.live == nil {
+		r.live = tuning.Fixed(schedulerPullBatch, r.resolveSchedulers())
+	}
+	r.agent = newAgent(r, res.Cores, res.GPUs, r.live.MaxSchedulers())
 
 	go func() {
 		select {
@@ -319,8 +336,10 @@ func (r *PilotRTS) StoreStats() core.StoreStats {
 		st = r.store.stats()
 	}
 	if r.agent != nil {
-		st.Schedulers = r.agent.schedulers
-		st.SchedulerPulls, st.SchedulerDispatches = r.agent.schedulerStats()
+		// Schedulers reports the live pool target (== the spawned pool size
+		// unless the autotune controller shrank it).
+		st.Schedulers = r.live.Schedulers()
+		st.SchedulerPulls, st.SchedulerDispatches, st.SchedulerBusy = r.agent.schedulerStats()
 	}
 	return st
 }

@@ -87,16 +87,20 @@ func (s *Scaled) Sleep(d time.Duration) {
 }
 
 // After returns a channel receiving the virtual time after d virtual time.
+// It is timer-based rather than goroutine-based: callers race After against
+// other channels in select loops and abandon the losers, and a parked
+// goroutine per abandoned call would linger for the full scaled duration
+// (the pilot-walltime watcher alone would hold one for the whole run).
+// An unreferenced timer costs nothing after GC.
 func (s *Scaled) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	if d <= 0 {
 		ch <- s.Now()
 		return ch
 	}
-	go func() {
-		time.Sleep(time.Duration(float64(d) * s.scale))
+	time.AfterFunc(time.Duration(float64(d)*s.scale), func() {
 		ch <- s.Now()
-	}()
+	})
 	return ch
 }
 
